@@ -1,0 +1,308 @@
+// Benchmark harness: one target per experiment of EXPERIMENTS.md, so the
+// paper's artifacts can be regenerated and timed with
+//
+//	go test -bench=. -benchmem
+package radiobcast_test
+
+import (
+	"fmt"
+	"testing"
+
+	"radiobcast/internal/anonymity"
+	"radiobcast/internal/baseline"
+	"radiobcast/internal/cdetect"
+	"radiobcast/internal/core"
+	"radiobcast/internal/domset"
+	"radiobcast/internal/experiments"
+	"radiobcast/internal/graph"
+	"radiobcast/internal/nodeset"
+	"radiobcast/internal/onebit"
+	"radiobcast/internal/radio"
+)
+
+// benchFamilies is the family subset used for scaling benchmarks (the full
+// 14-family sweep runs in the experiments harness; benchmarks track a
+// representative spread: sparse/deep, planar, random, dense).
+var benchFamilies = []string{"path", "grid", "gnp-sparse", "complete"}
+
+var benchSizes = []int{64, 256, 1024}
+
+func benchGraph(family string, n int) *graph.Graph {
+	return graph.Families[family](n)
+}
+
+// BenchmarkFig1 regenerates the paper's Figure 1 (experiment FIG1).
+func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := graph.Figure1()
+		out, err := core.RunBroadcast(g, graph.Figure1Source, "µ", core.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.CompletionRound != 7 {
+			b.Fatalf("completion %d", out.CompletionRound)
+		}
+	}
+}
+
+// BenchmarkLabeling measures λ construction (stages + labels; experiments
+// L26/F31).
+func BenchmarkLabeling(b *testing.B) {
+	for _, fam := range benchFamilies {
+		for _, n := range benchSizes {
+			g := benchGraph(fam, n)
+			b.Run(fmt.Sprintf("%s/n=%d", fam, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Lambda(g, 0, core.BuildOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStages isolates the §2.1 sequence construction (experiment L26).
+func BenchmarkStages(b *testing.B) {
+	for _, n := range benchSizes {
+		g := benchGraph("gnp-sparse", n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildStages(g, 0, core.BuildOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMinimalDomset measures the minimality pruning that powers DOM_i
+// (experiment ABLDOM).
+func BenchmarkMinimalDomset(b *testing.B) {
+	for _, n := range benchSizes {
+		g := benchGraph("gnp-sparse", n)
+		// Candidates: BFS layer 1; targets: layer 2.
+		layers := g.Layers(0)
+		if len(layers) < 3 {
+			b.Skip("graph too shallow")
+		}
+		cand := nodeset.Of(g.N(), layers[1]...)
+		targets := nodeset.Of(g.N(), layers[2]...)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := domset.MinimalSubset(g, cand, targets, domset.Ascending); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBroadcastB runs the full labeled broadcast (experiment T29).
+func BenchmarkBroadcastB(b *testing.B) {
+	for _, fam := range benchFamilies {
+		for _, n := range benchSizes {
+			g := benchGraph(fam, n)
+			l, err := core.Lambda(g, 0, core.BuildOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", fam, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := core.RunBroadcastLabeled(g, l, 0, "m", nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !out.AllInformed {
+						b.Fatal("incomplete broadcast")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBroadcastBack runs acknowledged broadcast (experiments T39/MSG).
+func BenchmarkBroadcastBack(b *testing.B) {
+	for _, fam := range benchFamilies {
+		for _, n := range benchSizes {
+			g := benchGraph(fam, n)
+			l, err := core.LambdaAck(g, 0, core.BuildOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", fam, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := core.RunAcknowledgedLabeled(g, l, 0, "m")
+					if err != nil {
+						b.Fatal(err)
+					}
+					if g.N() >= 2 && out.AckRound == 0 {
+						b.Fatal("no ack")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCommonRound runs the Back→B composition (experiment CR).
+func BenchmarkCommonRound(b *testing.B) {
+	g := benchGraph("grid", 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := core.RunCommonRound(g, 0, "m", core.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.VerifyCommonRound(out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastBarb runs the arbitrary-source algorithm (experiment ARB).
+func BenchmarkBroadcastBarb(b *testing.B) {
+	for _, fam := range benchFamilies {
+		for _, n := range []int{64, 256} {
+			g := benchGraph(fam, n)
+			l, err := core.LambdaArb(g, 0, core.BuildOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := g.N() - 1
+			b.Run(fmt.Sprintf("%s/n=%d", fam, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := core.RunArbitraryLabeled(g, l, src, "m")
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !out.AllKnowMu {
+						b.Fatal("incomplete")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBaselines compares the comparison schemes (experiment BASE).
+func BenchmarkBaselines(b *testing.B) {
+	g := benchGraph("grid", 256)
+	b.Run("roundrobin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.RunRoundRobin(g, 0, "m"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("colorrobin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.RunColorRobin(g, 0, "m"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("centralized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.RunCentralized(g, 0, "m"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCollisionDetection runs the anonymous beep-pipeline broadcast
+// (experiment CD).
+func BenchmarkCollisionDetection(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		g := benchGraph("grid", n)
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := cdetect.Run(g, 0, "µ")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !out.AllDecoded {
+					b.Fatal("incomplete")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFourCycle runs the impossibility check (experiment IMP).
+func BenchmarkFourCycle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := anonymity.RunFourCycle(anonymity.PseudorandomProgram(uint64(i)), 200)
+		if out.AntipodeInformed != 0 {
+			b.Fatal("impossibility violated")
+		}
+	}
+}
+
+// BenchmarkOneBit verifies the §5 grid construction (experiment ONEBIT).
+func BenchmarkOneBit(b *testing.B) {
+	for _, size := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("grid%dx%d", size, size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := onebit.GridScheme(size, size); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineParallel compares sequential and parallel engine modes on
+// a dense graph (experiment PAR).
+func BenchmarkEngineParallel(b *testing.B) {
+	g := graph.GNPConnected(2000, 8.0/2000, 42)
+	l, err := core.Lambda(g, 0, core.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ps := core.NewBProtocols(l.Labels, 0, "m")
+				res := radio.Run(g, ps, radio.Options{
+					MaxRounds:       2*g.N() + 4,
+					StopAfterSilent: 3,
+					Workers:         workers,
+				})
+				if res.TotalTransmissions == 0 {
+					b.Fatal("no traffic")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExperimentRegistry times each experiment generator end to end in
+// quick mode (the EXPERIMENTS.md regeneration path).
+func BenchmarkExperimentRegistry(b *testing.B) {
+	for _, e := range experiments.Registry {
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Gen(experiments.Config{Quick: true, Workers: 4}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper's evaluation artifacts: Figure 1
+// and every theorem-derived table (see EXPERIMENTS.md). By default it runs
+// the full registry; use -exp to select specific experiments.
+//
+// Usage:
+//
+//	experiments [-exp FIG1,T29,...] [-quick] [-workers N] [-csv] [-o file]
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"radiobcast/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or \"all\"")
+		quick   = flag.Bool("quick", false, "run reduced sweeps")
+		workers = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outFile = flag.String("o", "", "write output to file instead of stdout")
+		list    = flag.Bool("list", false, "list registered experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick, Workers: *workers}
+	var entries []experiments.Entry
+	if *expFlag == "all" {
+		entries = experiments.Registry
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	for _, e := range entries {
+		fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Desc)
+		tables, err := e.Gen(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Fprintln(out, t.CSV())
+			} else {
+				fmt.Fprintln(out, t.Render())
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Command labeler computes a labeling scheme for a graph and prints the
+// labels, optionally with the stage decomposition or a Graphviz DOT export.
+// This is the "central monitor" role from the paper's motivating scenario:
+// an entity that knows the topology and assigns 2-3 bit labels enabling
+// universal broadcast.
+//
+// Usage:
+//
+//	labeler -family grid -n 25 -scheme lambda -stages
+//	labeler -family figure1 -scheme ack -dot out.dot
+//	labeler -graph edges.txt -scheme arb -r 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"radiobcast/internal/core"
+	"radiobcast/internal/graph"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "figure1", "graph family or \"figure1\"")
+		n      = flag.Int("n", 16, "target graph size")
+		file   = flag.String("graph", "", "read graph from edge-list file")
+		scheme = flag.String("scheme", "lambda", "lambda | ack | arb")
+		source = flag.Int("source", 0, "designated source (lambda, ack)")
+		r      = flag.Int("r", 0, "coordinator for arb")
+		stages = flag.Bool("stages", false, "print the stage decomposition")
+		dot    = flag.String("dot", "", "write Graphviz DOT to file")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*family, *n, *file)
+	if err != nil {
+		fail(err)
+	}
+
+	var l *core.Labeling
+	switch *scheme {
+	case "lambda":
+		l, err = core.Lambda(g, *source, core.BuildOptions{})
+	case "ack":
+		l, err = core.LambdaAck(g, *source, core.BuildOptions{})
+	case "arb":
+		l, err = core.LambdaArb(g, *r, core.BuildOptions{})
+	default:
+		err = fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("graph: %v; scheme %s: length %d bits, %d distinct labels\n",
+		g, *scheme, core.MaxLen(l.Labels), core.Distinct(l.Labels))
+	for v, lab := range l.Labels {
+		marks := ""
+		if v == l.Z {
+			marks += "  (z: acknowledgement initiator)"
+		}
+		if v == l.R {
+			marks += "  (r: coordinator)"
+		}
+		fmt.Printf("node %3d: %s%s\n", v, lab, marks)
+	}
+
+	if *stages {
+		fmt.Printf("\nstage decomposition (ℓ = %d):\n", l.Stages.L)
+		for i := 1; i <= l.Stages.NumStored(); i++ {
+			s := l.Stages.Stage(i)
+			fmt.Printf("stage %d: DOM=%v NEW=%v FRONTIER=%v\n", i, s.Dom, s.New, s.Frontier)
+		}
+	}
+
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := graph.WriteDOT(f, g, core.Strings(l.Labels)); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *dot)
+	}
+}
+
+func buildGraph(family string, n int, file string) (*graph.Graph, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	}
+	if family == "figure1" {
+		return graph.Figure1(), nil
+	}
+	build, ok := graph.Families[family]
+	if !ok {
+		return nil, fmt.Errorf("unknown family %q", family)
+	}
+	return build(n), nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "labeler: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,163 @@
+// Command radiosim runs one broadcast scenario and prints the outcome, with
+// an optional round-by-round trace in the paper's Figure 1 annotation style.
+//
+// Usage:
+//
+//	radiosim -family grid -n 16 -algo b -source 0 [-trace] [-mu text]
+//	radiosim -family figure1 -algo back -trace
+//	radiosim -graph edges.txt -algo barb -source 3 -r 0
+//
+// Algorithms: b (2-bit λ), back (3-bit λack, acknowledged),
+// barb (3-bit λarb, arbitrary source with coordinator -r),
+// roundrobin, colorrobin, centralized (baselines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"radiobcast/internal/baseline"
+	"radiobcast/internal/core"
+	"radiobcast/internal/graph"
+	"radiobcast/internal/radio"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "figure1", "graph family (see -families) or \"figure1\"")
+		n       = flag.Int("n", 16, "target graph size")
+		file    = flag.String("graph", "", "read graph from edge-list file instead of -family")
+		algo    = flag.String("algo", "b", "b | back | barb | roundrobin | colorrobin | centralized")
+		source  = flag.Int("source", 0, "source node")
+		r       = flag.Int("r", 0, "coordinator node for barb")
+		mu      = flag.String("mu", "hello", "source message µ")
+		trace   = flag.Bool("trace", false, "print the round-by-round trace")
+		listFam = flag.Bool("families", false, "list graph families and exit")
+	)
+	flag.Parse()
+
+	if *listFam {
+		for _, name := range graph.FamilyNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	g, err := buildGraph(*family, *n, *file)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("graph: %v, source %d, algorithm %s\n", g, *source, *algo)
+
+	switch *algo {
+	case "b":
+		l, err := core.Lambda(g, *source, core.BuildOptions{})
+		if err != nil {
+			fail(err)
+		}
+		var tr *radio.Trace
+		if *trace {
+			tr = &radio.Trace{}
+		}
+		out, err := core.RunBroadcastLabeled(g, l, *source, *mu, tr)
+		if err != nil {
+			fail(err)
+		}
+		if err := core.VerifyBroadcast(out, *mu); err != nil {
+			fail(err)
+		}
+		fmt.Printf("λ labels (2 bits, %d distinct), ℓ = %d stages\n",
+			core.Distinct(l.Labels), l.Stages.L)
+		fmt.Printf("broadcast complete in round %d (bound 2n−3 = %d)\n",
+			out.CompletionRound, 2*g.N()-3)
+		if *trace {
+			fmt.Print(tr.String())
+			fmt.Println("per-node annotations (label, {transmit rounds}, (receive rounds)):")
+			fmt.Print(radio.Annotations(out.Result, core.Strings(l.Labels)))
+		}
+
+	case "back":
+		out, err := core.RunAcknowledged(g, *source, *mu, core.BuildOptions{})
+		if err != nil {
+			fail(err)
+		}
+		if err := core.VerifyAcknowledged(out, *mu); err != nil {
+			fail(err)
+		}
+		fmt.Printf("λack labels (3 bits, %d distinct), z = %d\n",
+			core.Distinct(out.Labels), out.Z)
+		fmt.Printf("broadcast complete in round %d; source acknowledged in round %d\n",
+			out.CompletionRound, out.AckRound)
+
+	case "barb":
+		out, err := core.RunArbitrary(g, *r, *source, *mu, core.BuildOptions{})
+		if err != nil {
+			fail(err)
+		}
+		if err := core.VerifyArbitrary(g, out, *mu); err != nil {
+			fail(err)
+		}
+		fmt.Printf("λarb labels (3 bits, %d distinct), coordinator r = %d, T = %d\n",
+			core.Distinct(out.Labels), out.R, out.T)
+		fmt.Printf("all nodes know µ and completion by round %d (total %d rounds)\n",
+			out.KnowsCompleteRound[0], out.TotalRounds)
+
+	case "roundrobin":
+		out, err := baseline.RunRoundRobin(g, *source, *mu)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("round robin: %d-bit labels, complete in round %d\n",
+			out.LabelBits, out.CompletionRound)
+
+	case "colorrobin":
+		out, err := baseline.RunColorRobin(g, *source, *mu)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("colour robin: %d-bit labels, complete in round %d\n",
+			out.LabelBits, out.CompletionRound)
+
+	case "centralized":
+		out, err := baseline.RunCentralized(g, *source, *mu)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("centralized schedule: complete in round %d\n", out.CompletionRound)
+
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+}
+
+func buildGraph(family string, n int, file string) (*graph.Graph, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := graph.ReadEdgeList(f)
+		if err != nil {
+			return nil, err
+		}
+		if !g.IsConnected() {
+			return nil, fmt.Errorf("graph in %s is not connected", file)
+		}
+		return g, nil
+	}
+	if family == "figure1" {
+		return graph.Figure1(), nil
+	}
+	build, ok := graph.Families[family]
+	if !ok {
+		return nil, fmt.Errorf("unknown family %q (use -families)", family)
+	}
+	return build(n), nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
+	os.Exit(1)
+}

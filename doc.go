@@ -1,0 +1,28 @@
+// Package radiobcast is a from-scratch Go reproduction of
+//
+//	Faith Ellen, Barun Gorain, Avery Miller, Andrzej Pelc.
+//	"Constant-Length Labeling Schemes for Deterministic Radio Broadcast."
+//	SPAA 2019 (arXiv:1710.03178).
+//
+// The library lives under internal/ (see README.md for the architecture and
+// DESIGN.md for the system inventory):
+//
+//   - internal/graph, internal/nodeset: the network substrate;
+//   - internal/radio: the synchronous radio model of §1.1 with sequential
+//     and parallel engines;
+//   - internal/domset: minimal dominating subsets (§2.1 step 4);
+//   - internal/core: the stage construction, the labeling schemes λ, λack,
+//     λarb and the universal algorithms B, Back, Barb;
+//   - internal/baseline: round-robin, colour-robin, centralized scheduling
+//     and delayed flooding;
+//   - internal/onebit: the verified one-bit schemes of §5;
+//   - internal/anonymity: the four-cycle impossibility as executable checks;
+//   - internal/experiments: the table/figure regeneration harness.
+//
+// The root-level bench_test.go exposes one benchmark per experiment; run
+//
+//	go test -bench=. -benchmem
+//
+// to exercise the full harness, or use cmd/experiments to regenerate
+// EXPERIMENTS.md's tables.
+package radiobcast

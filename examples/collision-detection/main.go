@@ -1,0 +1,61 @@
+// Collision detection: the paper's §1.1 remark made concrete. The same
+// four-cycle where label-free deterministic broadcast is provably
+// impossible becomes trivial once listeners can distinguish silence from
+// noise — with NO labels at all: bits of µ travel as silent/noisy rounds.
+//
+//	go run ./examples/collision-detection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radiobcast/internal/anonymity"
+	"radiobcast/internal/cdetect"
+	"radiobcast/internal/graph"
+)
+
+func main() {
+	fmt.Println("Part 1 — WITHOUT collision detection (the impossibility)")
+	fmt.Println("four-cycle, all nodes identical, 500 pseudorandom deterministic programs:")
+	informed := 0
+	for seed := uint64(0); seed < 500; seed++ {
+		out := anonymity.RunFourCycle(anonymity.PseudorandomProgram(seed), 300)
+		if out.AntipodeInformed != 0 {
+			informed++
+		}
+	}
+	fmt.Printf("  programs that informed the antipodal node: %d / 500\n", informed)
+	fmt.Println("  (the source's two neighbours always act identically, so the")
+	fmt.Println("   antipode hears only collisions — exactly the paper's argument)")
+
+	fmt.Println("\nPart 2 — WITH collision detection (anonymous beep pipeline)")
+	mu := "around the ring"
+	g := graph.Cycle(4)
+	out, err := cdetect.Run(g, 0, mu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  message %q = %d encoded bits\n", mu, out.BitsSent)
+	for v := 1; v < g.N(); v++ {
+		fmt.Printf("  node %d (distance %d) decoded µ in round %d\n",
+			v, g.BFS(0)[v], out.DoneRound[v])
+	}
+	fmt.Println("  bit k reaches distance class d in round 3k+d; a collision still")
+	fmt.Println("  reads as \"noise\" = 1, so simultaneous relays are constructive.")
+
+	fmt.Println("\nPart 3 — the same pipeline on a larger network")
+	big := graph.Grid(8, 8)
+	out2, err := cdetect.Run(big, 0, mu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := 0
+	for _, d := range out2.DoneRound {
+		if d > last {
+			last = d
+		}
+	}
+	fmt.Printf("  8x8 grid: all %d nodes decoded by round %d = 3(L−1)+ecc = 3·%d+%d\n",
+		big.N(), last, out2.BitsSent-1, big.Eccentricity(0))
+}

@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"math/bits"
+
+	"radiobcast/internal/core"
+	"radiobcast/internal/graph"
+	"radiobcast/internal/radio"
+)
+
+// ColorRobin is the O(log Δ)-bit scheme from the paper's introduction:
+// labels are colours of a proper colouring of G², and informed nodes
+// transmit in the slot of their colour. Because any two nodes at distance
+// ≤ 2 have different colours, at most one neighbour of any listener
+// transmits per slot, so every frontier node is informed within one period
+// of C = 2^⌈log₂ numColors⌉ rounds of its first informed neighbour.
+type ColorRobin struct {
+	color  int
+	period int
+
+	round   int
+	haveMsg bool
+	msg     string
+}
+
+// NewColorRobin builds the protocol from a colour label.
+func NewColorRobin(label core.Label, sourceMsg *string) *ColorRobin {
+	c := 0
+	for i := 0; i < label.Len(); i++ {
+		c <<= 1
+		if label.Bit(i) {
+			c |= 1
+		}
+	}
+	p := &ColorRobin{color: c, period: 1 << uint(label.Len())}
+	if sourceMsg != nil {
+		p.haveMsg = true
+		p.msg = *sourceMsg
+	}
+	return p
+}
+
+// Step implements radio.Protocol.
+func (p *ColorRobin) Step(rcv *radio.Message) radio.Action {
+	p.round++
+	if rcv != nil && rcv.Kind == radio.KindData && !p.haveMsg {
+		p.haveMsg = true
+		p.msg = rcv.Payload
+	}
+	if p.haveMsg && (p.round-1)%p.period == p.color {
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: p.msg})
+	}
+	return radio.Listen
+}
+
+// ColorRobinLabels computes a distance-2 colouring of g and encodes each
+// node's colour in ⌈log₂ numColors⌉ bits.
+func ColorRobinLabels(g *graph.Graph) ([]core.Label, int) {
+	colors, num := g.Distance2Coloring()
+	w := 1
+	if num > 1 {
+		w = bits.Len(uint(num - 1))
+	}
+	labels := make([]core.Label, g.N())
+	for v, c := range colors {
+		labels[v] = binaryLabel(c, w)
+	}
+	return labels, num
+}
+
+// NewColorRobinProtocols builds one protocol per node.
+func NewColorRobinProtocols(labels []core.Label, source int, mu string) []radio.Protocol {
+	ps := make([]radio.Protocol, len(labels))
+	for v := range labels {
+		var src *string
+		if v == source {
+			src = &mu
+		}
+		ps[v] = NewColorRobin(labels[v], src)
+	}
+	return ps
+}
+
+// RunColorRobin colours g, runs the colour-slotted broadcast and returns
+// the outcome.
+func RunColorRobin(g *graph.Graph, source int, mu string) (*Outcome, error) {
+	labels, _ := ColorRobinLabels(g)
+	ps := NewColorRobinProtocols(labels, source, mu)
+	period := 1 << uint(core.MaxLen(labels))
+	maxRounds := period * (g.Eccentricity(source) + 2)
+	return observe(g, ps, source, maxRounds, labels)
+}

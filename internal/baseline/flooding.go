@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"radiobcast/internal/core"
+	"radiobcast/internal/graph"
+	"radiobcast/internal/radio"
+)
+
+// Flooding is the one-bit protocol family used for the §5 extensions: a
+// node retransmits µ exactly once, d rounds after first receiving it, where
+// the delay d is selected by the node's single label bit (bit 1 → DelayOne
+// rounds, bit 0 → DelayZero rounds; DelayZero = 0 means "never forward").
+// The labeling scheme's job is to choose bits so that every node eventually
+// has a round in which exactly one neighbour transmits.
+type Flooding struct {
+	delay int // rounds between first reception and the single retransmission; 0 = never
+
+	round    int
+	haveMsg  bool
+	msg      string
+	recvAt   int
+	sent     bool
+	isSource bool
+}
+
+// FloodingDelays configures the two delays selected by the label bit.
+type FloodingDelays struct {
+	// DelayOne is the forwarding delay of bit-1 nodes (≥ 1).
+	DelayOne int
+	// DelayZero is the forwarding delay of bit-0 nodes; 0 disables
+	// forwarding entirely.
+	DelayZero int
+}
+
+// DefaultDelays forwards after 1 round for bit 1 and never for bit 0.
+var DefaultDelays = FloodingDelays{DelayOne: 1, DelayZero: 0}
+
+// GridDelays forwards after 1 round for bit 1 and 2 rounds for bit 0,
+// the family used by the grid labelings.
+var GridDelays = FloodingDelays{DelayOne: 1, DelayZero: 2}
+
+// NewFlooding builds the protocol for a 1-bit label.
+func NewFlooding(label core.Label, d FloodingDelays, sourceMsg *string) *Flooding {
+	delay := d.DelayZero
+	if label.Bit(0) {
+		delay = d.DelayOne
+	}
+	p := &Flooding{delay: delay, recvAt: -1}
+	if sourceMsg != nil {
+		p.isSource = true
+		p.haveMsg = true
+		p.msg = *sourceMsg
+	}
+	return p
+}
+
+// Step implements radio.Protocol.
+func (p *Flooding) Step(rcv *radio.Message) radio.Action {
+	p.round++
+	if rcv != nil && rcv.Kind == radio.KindData && !p.haveMsg {
+		p.haveMsg = true
+		p.msg = rcv.Payload
+		p.recvAt = p.round - 1
+	}
+	switch {
+	case p.isSource && !p.sent:
+		// The source always transmits once, in its first round.
+		p.sent = true
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: p.msg})
+	case !p.isSource && p.haveMsg && !p.sent && p.delay > 0 && p.round == p.recvAt+p.delay:
+		p.sent = true
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: p.msg})
+	default:
+		return radio.Listen
+	}
+}
+
+// NewFloodingProtocols builds one protocol per node.
+func NewFloodingProtocols(labels []core.Label, d FloodingDelays, source int, mu string) []radio.Protocol {
+	ps := make([]radio.Protocol, len(labels))
+	for v := range labels {
+		var src *string
+		if v == source {
+			src = &mu
+		}
+		ps[v] = NewFlooding(labels[v], d, src)
+	}
+	return ps
+}
+
+// RunFlooding runs the delayed-flooding protocol under the given 1-bit
+// labeling and returns the outcome (which may be incomplete: callers use
+// this to *verify* candidate labelings).
+func RunFlooding(g *graph.Graph, labels []core.Label, d FloodingDelays, source int, mu string) *Outcome {
+	ps := NewFloodingProtocols(labels, d, source, mu)
+	maxRounds := 3*g.N() + 8
+	out, _ := observe(g, ps, source, maxRounds, labels)
+	return out
+}

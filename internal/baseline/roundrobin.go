@@ -1,0 +1,184 @@
+// Package baseline implements the comparison algorithms the paper mentions
+// in its introduction: round-robin broadcast over distinct O(log n)-bit
+// labels, colour-slotted round-robin over a distance-2 colouring
+// (O(log Δ)-bit labels), a centralized scheduler with full topology
+// knowledge, and one-bit delayed flooding (used by the §5 one-bit
+// extensions). These baselines give the BASE experiment its comparison
+// axes: label length versus completion time.
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+
+	"radiobcast/internal/core"
+	"radiobcast/internal/graph"
+	"radiobcast/internal/radio"
+)
+
+// RoundRobin is the classical O(log n)-bit scheme: every node gets a
+// distinct identifier; round r is the slot of identifier (r−1) mod P where
+// the period P = 2^w is derived from the label width w. Informed nodes
+// transmit µ exactly in their own slot, so no two transmissions ever
+// collide, and each BFS layer is informed after at most one full period.
+type RoundRobin struct {
+	id     int
+	period int
+
+	round   int
+	haveMsg bool
+	msg     string
+}
+
+// NewRoundRobin builds the protocol from a w-bit identifier label.
+func NewRoundRobin(label core.Label, sourceMsg *string) *RoundRobin {
+	id := 0
+	for i := 0; i < label.Len(); i++ {
+		id <<= 1
+		if label.Bit(i) {
+			id |= 1
+		}
+	}
+	p := &RoundRobin{id: id, period: 1 << uint(label.Len())}
+	if sourceMsg != nil {
+		p.haveMsg = true
+		p.msg = *sourceMsg
+	}
+	return p
+}
+
+// Step implements radio.Protocol.
+func (p *RoundRobin) Step(rcv *radio.Message) radio.Action {
+	p.round++
+	if rcv != nil && rcv.Kind == radio.KindData && !p.haveMsg {
+		p.haveMsg = true
+		p.msg = rcv.Payload
+	}
+	if p.haveMsg && (p.round-1)%p.period == p.id {
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: p.msg})
+	}
+	return radio.Listen
+}
+
+// RoundRobinLabels assigns the distinct-identifier labeling: node v gets v
+// written in exactly ⌈log₂ n⌉ bits (1 bit for n = 1).
+func RoundRobinLabels(n int) []core.Label {
+	w := idWidth(n)
+	labels := make([]core.Label, n)
+	for v := 0; v < n; v++ {
+		labels[v] = binaryLabel(v, w)
+	}
+	return labels
+}
+
+func idWidth(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+func binaryLabel(v, w int) core.Label {
+	b := make([]byte, w)
+	for i := w - 1; i >= 0; i-- {
+		if v&1 == 1 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+		v >>= 1
+	}
+	return core.Label(b)
+}
+
+// NewRoundRobinProtocols builds one protocol per node.
+func NewRoundRobinProtocols(labels []core.Label, source int, mu string) []radio.Protocol {
+	ps := make([]radio.Protocol, len(labels))
+	for v := range labels {
+		var src *string
+		if v == source {
+			src = &mu
+		}
+		ps[v] = NewRoundRobin(labels[v], src)
+	}
+	return ps
+}
+
+// RunRoundRobin labels g with distinct IDs and runs the round-robin
+// broadcast, returning per-node informed rounds and the completion round.
+func RunRoundRobin(g *graph.Graph, source int, mu string) (*Outcome, error) {
+	labels := RoundRobinLabels(g.N())
+	ps := NewRoundRobinProtocols(labels, source, mu)
+	period := 1 << uint(idWidth(g.N()))
+	maxRounds := period * (g.Eccentricity(source) + 2)
+	return observe(g, ps, source, maxRounds, labels)
+}
+
+// Outcome is the shared result shape for all baseline runs.
+type Outcome struct {
+	Result          *radio.Result
+	Labels          []core.Label
+	InformedRound   []int
+	AllInformed     bool
+	CompletionRound int
+	LabelBits       int
+}
+
+func observe(g *graph.Graph, ps []radio.Protocol, source, maxRounds int, labels []core.Label) (*Outcome, error) {
+	n := g.N()
+	informed := make([]int, n)
+	done := func(int) bool {
+		for v := 0; v < n; v++ {
+			if v != source && informed[v] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	res := radio.Run(g, wrapObservers(ps, informed), radio.Options{
+		MaxRounds: maxRounds,
+		Stop:      done,
+	})
+	out := &Outcome{
+		Result: res, Labels: labels, InformedRound: informed,
+		AllInformed: true, LabelBits: core.MaxLen(labels),
+	}
+	for v := 0; v < n; v++ {
+		if v == source {
+			continue
+		}
+		if informed[v] == 0 {
+			out.AllInformed = false
+		}
+		if informed[v] > out.CompletionRound {
+			out.CompletionRound = informed[v]
+		}
+	}
+	if !out.AllInformed {
+		return out, fmt.Errorf("baseline: broadcast incomplete after %d rounds", res.Rounds)
+	}
+	return out, nil
+}
+
+// observer wraps a protocol to record the round of first data reception.
+type observer struct {
+	inner    radio.Protocol
+	informed *int
+	round    int
+}
+
+func (o *observer) Step(rcv *radio.Message) radio.Action {
+	o.round++
+	if rcv != nil && rcv.Kind == radio.KindData && *o.informed == 0 {
+		*o.informed = o.round - 1
+	}
+	return o.inner.Step(rcv)
+}
+
+func wrapObservers(ps []radio.Protocol, informed []int) []radio.Protocol {
+	out := make([]radio.Protocol, len(ps))
+	for v := range ps {
+		out[v] = &observer{inner: ps[v], informed: &informed[v]}
+	}
+	return out
+}

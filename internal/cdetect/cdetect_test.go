@@ -1,0 +1,156 @@
+package cdetect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"radiobcast/internal/graph"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, mu := range []string{"", "a", "hello", "µ-unicode-ok", "0123456789abcdef"} {
+		bits := Encode(mu)
+		got, ok := Decode(bits)
+		if !ok || got != mu {
+			t.Fatalf("round trip of %q failed: %q, %v", mu, got, ok)
+		}
+		if len(bits) != 17+8*len([]byte(mu)) {
+			t.Fatalf("encoding length %d for %q", len(bits), mu)
+		}
+		if !bits[0] {
+			t.Fatal("start bit must be 1")
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	if _, ok := Decode(nil); ok {
+		t.Fatal("decoded empty stream")
+	}
+	bits := Encode("x")
+	bits[0] = false // broken start bit
+	if _, ok := Decode(bits); ok {
+		t.Fatal("decoded stream without start bit")
+	}
+	if _, ok := Decode(Encode("xy")[:20]); ok {
+		t.Fatal("decoded truncated stream")
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(mu string) bool {
+		if len(mu) > 1000 {
+			mu = mu[:1000]
+		}
+		got, ok := Decode(Encode(mu))
+		return ok && got == mu
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnonymousBroadcastFourCycle(t *testing.T) {
+	// The headline contrast: C4 is impossible without collision detection
+	// (package anonymity), but trivial with it — anonymously.
+	out, err := Run(graph.Cycle(4), 0, "beep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllDecoded {
+		t.Fatal("four-cycle anonymous broadcast incomplete")
+	}
+}
+
+func TestAnonymousBroadcastFamilies(t *testing.T) {
+	for _, name := range graph.FamilyNames() {
+		g := graph.Families[name](20)
+		out, err := Run(g, 0, "msg")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !out.AllDecoded {
+			t.Fatalf("%s: incomplete", name)
+		}
+	}
+}
+
+func TestAnonymousBroadcastAllSources(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(5), graph.Grid(3, 3), graph.Figure1(), graph.Complete(5),
+	} {
+		for src := 0; src < g.N(); src++ {
+			out, err := Run(g, src, "m")
+			if err != nil {
+				t.Fatalf("src=%d: %v", src, err)
+			}
+			if !out.AllDecoded {
+				t.Fatalf("src=%d: incomplete", src)
+			}
+		}
+	}
+}
+
+func TestDoneRoundMatchesPipeline(t *testing.T) {
+	// On a path, node at distance d decodes in round 3(L−1)+d.
+	mu := "ab"
+	g := graph.Path(6)
+	out, err := Run(g, 0, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := len(Encode(mu))
+	for v := 1; v < 6; v++ {
+		want := 3*(L-1) + v
+		if out.DoneRound[v] != want {
+			t.Fatalf("node %d decoded in round %d, want %d", v, out.DoneRound[v], want)
+		}
+	}
+}
+
+func TestQuickAnonymousRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(uint64(seed)%25)
+		g := graph.GNPConnected(n, 0.25, seed)
+		src := int(uint64(seed) % uint64(n))
+		out, err := Run(g, src, "q")
+		return err == nil && out.AllDecoded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	out, err := Run(graph.New(1), 0, "solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllDecoded {
+		t.Fatal("single node should trivially hold µ")
+	}
+}
+
+func TestLongMessage(t *testing.T) {
+	mu := ""
+	for i := 0; i < 64; i++ {
+		mu += "x"
+	}
+	out, err := Run(graph.Path(4), 0, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BitsSent != 17+8*64 {
+		t.Fatalf("bits sent = %d", out.BitsSent)
+	}
+}
+
+func TestEncodeTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized message")
+		}
+	}()
+	big := make([]byte, 1<<13)
+	Encode(string(big))
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"radiobcast/internal/radio"
+)
+
+// AlgB is the universal deterministic broadcast algorithm B (Algorithm 1)
+// run at a single node. It is a faithful transcription of the paper's
+// pseudocode: decisions depend only on the node's 2-bit label and on the
+// rounds (relative to its own history) in which it received µ or "stay".
+//
+// Construct with NewAlgB; the zero value is not usable.
+type AlgB struct {
+	label    Label
+	isSource bool
+
+	round      int    // local round counter (number of Step calls)
+	msg        string // sourcemsg; "" = null
+	haveMsg    bool
+	everActive bool // "never sent or received a message" guard
+	informedAt int  // round of first µ reception (−1 for the source / never)
+	lastDataTx int  // last round this node transmitted µ (−1 = never)
+	stayAt     int  // round of the most recent "stay" reception (−1 = never)
+}
+
+// NewAlgB returns node state for algorithm B. A node is the source iff
+// sourceMsg is non-nil; its label is the 2-bit λ label.
+func NewAlgB(label Label, sourceMsg *string) *AlgB {
+	a := &AlgB{label: label, informedAt: -1, lastDataTx: -1, stayAt: -1}
+	if sourceMsg != nil {
+		a.isSource = true
+		a.haveMsg = true
+		a.msg = *sourceMsg
+	}
+	return a
+}
+
+// Informed reports whether the node holds µ, and the round it first
+// received it (0 for the source).
+func (a *AlgB) Informed() (bool, int) {
+	if a.isSource {
+		return true, 0
+	}
+	if a.informedAt > 0 {
+		return true, a.informedAt
+	}
+	return false, 0
+}
+
+// Message returns the node's current sourcemsg ("" if uninformed).
+func (a *AlgB) Message() string { return a.msg }
+
+// Step implements radio.Protocol, mirroring Algorithm 1 line by line.
+func (a *AlgB) Step(rcv *radio.Message) radio.Action {
+	a.round++
+	r := a.round
+
+	if rcv != nil {
+		a.everActive = true
+		switch rcv.Kind {
+		case radio.KindData:
+			// line 5-7: adopt µ on first reception of a non-"stay" message
+			if !a.haveMsg {
+				a.haveMsg = true
+				a.msg = rcv.Payload
+				a.informedAt = r - 1
+			}
+		case radio.KindStay:
+			a.stayAt = r - 1
+		}
+	}
+
+	switch {
+	case !a.everActive && a.haveMsg:
+		// lines 2-3: the source transmits µ in its first round
+		a.everActive = true
+		a.lastDataTx = r
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: a.msg})
+
+	case !a.haveMsg:
+		// line 4: still uninformed — listen
+		return radio.Listen
+
+	case a.informedAt > 0 && a.informedAt == r-2:
+		// lines 9-12: first received µ two rounds ago
+		if a.label.X1() {
+			a.lastDataTx = r
+			return radio.Send(radio.Message{Kind: radio.KindData, Payload: a.msg})
+		}
+		return radio.Listen
+
+	case a.informedAt > 0 && a.informedAt == r-1:
+		// lines 13-16: first received µ one round ago
+		if a.label.X2() {
+			return radio.Send(radio.Message{Kind: radio.KindStay})
+		}
+		return radio.Listen
+
+	case a.lastDataTx > 0 && a.lastDataTx == r-2 && a.stayAt == r-1:
+		// lines 17-19: transmitted µ two rounds ago and heard "stay" since
+		a.lastDataTx = r
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: a.msg})
+
+	default:
+		return radio.Listen
+	}
+}
+
+// NewBProtocols builds one AlgB instance per node for the given labeling
+// and source message.
+func NewBProtocols(labels []Label, source int, mu string) []radio.Protocol {
+	ps := make([]radio.Protocol, len(labels))
+	for v := range labels {
+		var src *string
+		if v == source {
+			src = &mu
+		}
+		ps[v] = NewAlgB(labels[v], src)
+	}
+	return ps
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"radiobcast/internal/radio"
+)
+
+// AlgBack is the acknowledged broadcast algorithm Back (Algorithm 2) run at
+// a single node. Beyond B it maintains informedRound (learned from the
+// timestamp appended to the first received µ message, Lemma 3.5) and
+// transmitRounds (the rounds in which it transmitted µ), and implements the
+// acknowledgement chain: the unique node with x3 = 1 starts an "ack"
+// carrying its informedRound; a node that transmitted µ in exactly that
+// round relays an ack carrying its own informedRound; the chain's round
+// numbers strictly decrease (Lemma 3.7) until the source is reached.
+type AlgBack struct {
+	label    Label
+	isSource bool
+
+	round      int
+	msg        string
+	haveMsg    bool
+	everActive bool
+
+	informedRound  int // timestamp of first µ reception (−1 = source/never)
+	firstRecv      int // local round of first µ reception (−1 = never)
+	lastDataTx     int // local round of last µ transmission (−1 = never)
+	lastDataTxTS   int // timestamp attached to that transmission
+	stayAt         int // local round of last "stay" reception (−1 = never)
+	stayTS         int
+	ackAt          int // local round of last "ack" reception (−1 = never)
+	ackTS          int
+	transmitRounds map[int]bool // timestamps of own µ transmissions
+
+	// AckDone reports, at the source, that an "ack" arrived; AckRound is
+	// the local round of that arrival (§3.2, Corollary 3.8).
+	AckDone  bool
+	AckRound int
+}
+
+// NewAlgBack returns node state for algorithm Back with a 3-bit λack label.
+func NewAlgBack(label Label, sourceMsg *string) *AlgBack {
+	a := &AlgBack{
+		label:          label,
+		informedRound:  -1,
+		firstRecv:      -1,
+		lastDataTx:     -1,
+		stayAt:         -1,
+		ackAt:          -1,
+		transmitRounds: make(map[int]bool, 4),
+	}
+	if sourceMsg != nil {
+		a.isSource = true
+		a.haveMsg = true
+		a.msg = *sourceMsg
+	}
+	return a
+}
+
+// Informed reports whether the node holds µ and its informedRound.
+func (a *AlgBack) Informed() (bool, int) {
+	if a.isSource {
+		return true, 0
+	}
+	if a.firstRecv > 0 {
+		return true, a.informedRound
+	}
+	return false, 0
+}
+
+// Step implements radio.Protocol, mirroring Algorithm 2.
+func (a *AlgBack) Step(rcv *radio.Message) radio.Action {
+	a.round++
+	r := a.round
+
+	if rcv != nil {
+		a.everActive = true
+		switch rcv.Kind {
+		case radio.KindData:
+			// lines 7-10: adopt µ and record the appended round number.
+			// (Algorithm 2 accepts any m ≠ "stay"; restricting to data
+			// messages is equivalent by Observation 3.3 and robust.)
+			if !a.haveMsg {
+				a.haveMsg = true
+				a.msg = rcv.Payload
+				a.informedRound = rcv.TS
+				a.firstRecv = r - 1
+			}
+		case radio.KindStay:
+			a.stayAt = r - 1
+			a.stayTS = rcv.TS
+		case radio.KindAck:
+			if a.isSource {
+				// The source's ack reception ends the algorithm (§3.2).
+				if !a.AckDone {
+					a.AckDone = true
+					a.AckRound = r - 1
+				}
+			} else {
+				a.ackAt = r - 1
+				a.ackTS = rcv.TS
+			}
+		}
+	}
+
+	switch {
+	case !a.everActive && a.haveMsg:
+		// lines 4-5: source transmits (µ, 1) in its first round.
+		a.everActive = true
+		a.lastDataTx = r
+		a.lastDataTxTS = 1
+		a.transmitRounds[1] = true
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: a.msg, TS: 1})
+
+	case !a.haveMsg:
+		return radio.Listen
+
+	case a.firstRecv > 0 && a.firstRecv == r-2:
+		// lines 12-16
+		if a.label.X1() {
+			ts := a.informedRound + 2
+			a.lastDataTx = r
+			a.lastDataTxTS = ts
+			a.transmitRounds[ts] = true
+			return radio.Send(radio.Message{Kind: radio.KindData, Payload: a.msg, TS: ts})
+		}
+		return radio.Listen
+
+	case a.firstRecv > 0 && a.firstRecv == r-1:
+		// lines 17-22
+		if a.label.X3() {
+			return radio.Send(radio.Message{Kind: radio.KindAck, TS: a.informedRound})
+		}
+		if a.label.X2() {
+			return radio.Send(radio.Message{Kind: radio.KindStay, TS: a.informedRound + 1})
+		}
+		return radio.Listen
+
+	case a.stayAt == r-1 && a.lastDataTx == r-2:
+		// lines 23-27
+		ts := a.stayTS + 1
+		a.lastDataTx = r
+		a.lastDataTxTS = ts
+		a.transmitRounds[ts] = true
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: a.msg, TS: ts})
+
+	case a.ackAt == r-1 && !a.isSource && a.transmitRounds[a.ackTS]:
+		// lines 28-31: relay the ack with our own informedRound.
+		return radio.Send(radio.Message{Kind: radio.KindAck, TS: a.informedRound})
+
+	default:
+		return radio.Listen
+	}
+}
+
+// NewBackProtocols builds one AlgBack instance per node.
+func NewBackProtocols(labels []Label, source int, mu string) []radio.Protocol {
+	ps := make([]radio.Protocol, len(labels))
+	for v := range labels {
+		var src *string
+		if v == source {
+			src = &mu
+		}
+		ps[v] = NewAlgBack(labels[v], src)
+	}
+	return ps
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"radiobcast/internal/graph"
+	"radiobcast/internal/radio"
+)
+
+func TestAlgBackSingleEdge(t *testing.T) {
+	// n=2: v informed in round 1 = 2ℓ−3 (ℓ=2); z = v transmits (ack,1) in
+	// round 2 = 2ℓ−2; the source hears it.
+	out, err := RunAcknowledged(graph.Path(2), 0, "m", BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAcknowledged(out, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if out.AckRound != 2 {
+		t.Fatalf("ack round = %d, want 2", out.AckRound)
+	}
+	if out.Z != 1 {
+		t.Fatalf("z = %d, want 1", out.Z)
+	}
+}
+
+func TestAlgBackFigure1(t *testing.T) {
+	// ℓ=5: completion in round 7, ack window {2ℓ−2..3ℓ−4} = {8..11}.
+	out, err := RunAcknowledged(graph.Figure1(), graph.Figure1Source, "m", BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAcknowledged(out, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if out.CompletionRound != 7 {
+		t.Fatalf("completion = %d, want 7", out.CompletionRound)
+	}
+	if out.AckRound < 8 || out.AckRound > 11 {
+		t.Fatalf("ack round = %d, want within [8,11]", out.AckRound)
+	}
+	// z must be node 12 (the unique last-informed node).
+	if out.Z != 12 {
+		t.Fatalf("z = %d, want 12", out.Z)
+	}
+}
+
+func TestAlgBackPath(t *testing.T) {
+	// Path from an endpoint: ℓ = n; broadcast t = 2n−3; the ack chain walks
+	// back hop by hop: t′ = 3ℓ−4 exactly.
+	n := 7
+	out, err := RunAcknowledged(graph.Path(n), 0, "m", BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAcknowledged(out, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if out.CompletionRound != 2*n-3 {
+		t.Fatalf("completion = %d, want %d", out.CompletionRound, 2*n-3)
+	}
+	if out.AckRound != 3*n-4 {
+		t.Fatalf("ack = %d, want 3n−4 = %d", out.AckRound, 3*n-4)
+	}
+}
+
+func TestAlgBackTheorem39Window(t *testing.T) {
+	// Theorem 3.9 in terms of n: t ≤ 2n−3 and t′ ∈ {t+1, …, t+n−2}.
+	//
+	// Reproduction finding: the upper bound t+n−2 is off by one. The ack
+	// delay is t′ − t = ℓ − 1 (Corollary 3.8), and ℓ = n is attainable (a
+	// path with the source at an endpoint), giving t′ = t + n − 1. The
+	// corrected n-based window {t+1, …, t+n−1} is what we verify here; the
+	// exact ℓ-based window of Corollary 3.8 is verified in
+	// VerifyAcknowledged. See EXPERIMENTS.md §T39.
+	for _, name := range graph.FamilyNames() {
+		g := graph.Families[name](30)
+		n := g.N()
+		if n < 3 {
+			continue
+		}
+		out, err := RunAcknowledged(g, 0, "m", BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifyAcknowledged(out, "m"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tC, tA := out.CompletionRound, out.AckRound
+		if tC > 2*n-3 {
+			t.Fatalf("%s: t = %d > 2n−3 = %d", name, tC, 2*n-3)
+		}
+		if tA < tC+1 || tA > tC+n-1 {
+			t.Fatalf("%s: t′ = %d outside {t+1..t+n−1} = {%d..%d}", name, tA, tC+1, tC+n-1)
+		}
+	}
+}
+
+func TestAlgBackQuickRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(uint64(seed)%50)
+		g := graph.GNPConnected(n, 0.2, seed)
+		src := int(uint64(seed) % uint64(n))
+		out, err := RunAcknowledged(g, src, "m", BuildOptions{})
+		if err != nil {
+			return false
+		}
+		return VerifyAcknowledged(out, "m") == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgBackAllSourcesSmall(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(5), graph.Grid(3, 3), graph.Complete(5), graph.Figure1(),
+	} {
+		for src := 0; src < g.N(); src++ {
+			out, err := RunAcknowledged(g, src, "m", BuildOptions{})
+			if err != nil {
+				t.Fatalf("src=%d: %v", src, err)
+			}
+			if err := VerifyAcknowledged(out, "m"); err != nil {
+				t.Fatalf("src=%d: %v", src, err)
+			}
+		}
+	}
+}
+
+func TestAlgBackTimestampsMatchRounds(t *testing.T) {
+	// Lemma 3.5: a message (µ, t) or ("stay", t) is transmitted only in
+	// round t. We check every traced transmission.
+	g := graph.Figure1()
+	l, err := LambdaAck(g, graph.Figure1Source, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := NewBackProtocols(l.Labels, graph.Figure1Source, "m")
+	tr := &radio.Trace{}
+	radio.Run(g, ps, radio.Options{MaxRounds: 40, StopAfterSilent: 3, Trace: tr})
+	for _, round := range tr.Rounds {
+		for _, tx := range round.Transmitters {
+			if tx.Msg.Kind == radio.KindData || tx.Msg.Kind == radio.KindStay {
+				if tx.Msg.TS != round.Round {
+					t.Fatalf("round %d: %s transmitted with TS %d (Lemma 3.5 violated)",
+						round.Round, tx.Msg.Kind, tx.Msg.TS)
+				}
+			}
+		}
+	}
+}
+
+func TestAlgBackAtMostOneTransmitterAfterBroadcast(t *testing.T) {
+	// Lemma 3.6: after round 2ℓ−3 at most one node transmits per round.
+	g := graph.Figure1()
+	l, err := LambdaAck(g, graph.Figure1Source, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := NewBackProtocols(l.Labels, graph.Figure1Source, "m")
+	tr := &radio.Trace{}
+	radio.Run(g, ps, radio.Options{MaxRounds: 40, StopAfterSilent: 3, Trace: tr})
+	cutoff := 2*l.Stages.L - 3
+	for _, round := range tr.Rounds {
+		if round.Round > cutoff && len(round.Transmitters) > 1 {
+			t.Fatalf("round %d: %d transmitters after broadcast end (Lemma 3.6)",
+				round.Round, len(round.Transmitters))
+		}
+	}
+}
+
+func TestAlgBackMessageSizeLogN(t *testing.T) {
+	// Back's messages carry an O(log n) timestamp: bits grow
+	// logarithmically, not linearly.
+	bits64 := ackMaxBits(t, 64)
+	bits512 := ackMaxBits(t, 512)
+	if bits512 > bits64+4 {
+		t.Fatalf("message bits grew too fast: n=64 → %d, n=512 → %d", bits64, bits512)
+	}
+}
+
+func ackMaxBits(t *testing.T, n int) int {
+	t.Helper()
+	out, err := RunAcknowledged(graph.Path(n), 0, "m", BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Result.MaxMessageBits
+}
+
+func TestAlgBackWrongZPrematureAck(t *testing.T) {
+	// ABLZ ablation: choosing a z that is informed early makes the ack
+	// arrive before broadcast completion, breaking acknowledgement — this
+	// demonstrates why z must be a last-informed node.
+	g := graph.Path(6)
+	l, err := LambdaAckWithZ(g, 0, 1, BuildOptions{}) // node 1: informed in round 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunAcknowledgedLabeled(g, l, 0, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AckRound == 0 {
+		t.Fatal("expected an (incorrectly early) ack")
+	}
+	if out.AckRound > out.CompletionRound {
+		t.Fatalf("ack at %d after completion %d: expected premature ack with wrong z",
+			out.AckRound, out.CompletionRound)
+	}
+}
+
+func TestRunCommonRound(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Path(6), graph.Figure1(), graph.Grid(3, 3), graph.Cycle(7),
+	} {
+		out, err := RunCommonRound(g, 0, "m", BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyCommonRound(out); err != nil {
+			t.Fatal(err)
+		}
+		// m itself is the first ack round; 2m must exceed the second
+		// broadcast's completion round.
+		if out.CommonRound != 2*out.M {
+			t.Fatalf("common round = %d, want 2m = %d", out.CommonRound, 2*out.M)
+		}
+	}
+}
+
+func TestAlgBackInformedAccessor(t *testing.T) {
+	mu := "m"
+	src := NewAlgBack(Label("100"), &mu)
+	if ok, r := src.Informed(); !ok || r != 0 {
+		t.Fatal("source accessor wrong")
+	}
+	other := NewAlgBack(Label("000"), nil)
+	if ok, _ := other.Informed(); ok {
+		t.Fatal("fresh node informed")
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestParseLabel(t *testing.T) {
+	if _, err := ParseLabel("0101"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseLabel(""); err != nil {
+		t.Fatal("empty label should parse")
+	}
+	if _, err := ParseLabel("01a"); err == nil {
+		t.Fatal("expected error for non-bit byte")
+	}
+}
+
+func TestMakeLabelAndBits(t *testing.T) {
+	l := MakeLabel(true, false, true)
+	if l != Label("101") {
+		t.Fatalf("MakeLabel = %q", l)
+	}
+	if !l.X1() || l.X2() || !l.X3() {
+		t.Fatalf("bits wrong for %q", l)
+	}
+	if l.Bit(3) || l.Bit(-1) {
+		t.Fatal("out-of-range bits must be false")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestLabelHelpers(t *testing.T) {
+	labels := []Label{"10", "10", "01", "111"}
+	if MaxLen(labels) != 3 {
+		t.Fatalf("MaxLen = %d", MaxLen(labels))
+	}
+	if Distinct(labels) != 3 {
+		t.Fatalf("Distinct = %d", Distinct(labels))
+	}
+	h := Histogram(labels)
+	if h["10"] != 2 || h["01"] != 1 || h["111"] != 1 {
+		t.Fatalf("Histogram = %v", h)
+	}
+	s := Strings(labels)
+	if len(s) != 4 || s[0] != "10" {
+		t.Fatalf("Strings = %v", s)
+	}
+}

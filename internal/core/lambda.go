@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"radiobcast/internal/domset"
+	"radiobcast/internal/graph"
+)
+
+// Labeling bundles the output of a labeling scheme together with the stage
+// construction it was derived from, so experiments can inspect both.
+type Labeling struct {
+	Labels []Label
+	Stages *Stages
+	// StayPick[w] = i means w ∈ NEW_i was chosen as the "stay" sender that
+	// keeps some v ∈ DOM_{i+1} ∩ DOM_i transmitting (x2(w) = 1); 0 if w was
+	// not picked.
+	StayPick []int
+	// Z is the acknowledgement initiator of λack (−1 for plain λ).
+	Z int
+	// R is the coordinator of λarb (−1 otherwise).
+	R int
+}
+
+// Lambda computes the 2-bit labeling scheme λ of §2.2 for graph g with
+// designated source. The default options (ascending prune order) reproduce
+// the golden values used in tests, including Figure 1.
+func Lambda(g *graph.Graph, source int, opt BuildOptions) (*Labeling, error) {
+	st, err := BuildStages(g, source, opt)
+	if err != nil {
+		return nil, err
+	}
+	return labelsFromStages(st)
+}
+
+func labelsFromStages(st *Stages) (*Labeling, error) {
+	g := st.G
+	n := g.N()
+	x1 := st.DomUnion()
+	x2 := make([]bool, n)
+	stayPick := make([]int, n)
+
+	// For each i and each v ∈ DOM_{i+1} ∩ DOM_i, pick one w ∈ NEW_i adjacent
+	// to v and set x2(w) = 1 (§2.2). We pick the smallest-index private
+	// neighbour; Lemma 2.4's minimality argument guarantees one exists, and
+	// because every NEW_i node has exactly one DOM_i neighbour, picks for
+	// distinct v never interfere (each v hears exactly one "stay").
+	for i := 1; i+1 <= st.NumStored(); i++ {
+		cur := st.Stage(i)
+		next := st.Stage(i + 1)
+		var pickErr error
+		cur.Dom.ForEach(func(v int) {
+			if pickErr != nil || !next.Dom.Has(v) {
+				return
+			}
+			w := pickStaySender(g, cur, v)
+			if w == -1 {
+				pickErr = fmt.Errorf("core: no NEW_%d neighbour for %d ∈ DOM_%d ∩ DOM_%d", i, v, i, i+1)
+				return
+			}
+			x2[w] = true
+			stayPick[w] = i
+		})
+		if pickErr != nil {
+			return nil, pickErr
+		}
+	}
+
+	labels := make([]Label, n)
+	for v := 0; v < n; v++ {
+		labels[v] = MakeLabel(x1.Has(v), x2[v])
+	}
+	return &Labeling{Labels: labels, Stages: st, StayPick: stayPick, Z: -1, R: -1}, nil
+}
+
+// pickStaySender returns the smallest w ∈ NEW_i adjacent to v whose unique
+// DOM_i neighbour is v, or -1 if none exists.
+func pickStaySender(g *graph.Graph, stage Stage, v int) int {
+	for _, w := range g.Neighbors(v) {
+		if !stage.New.Has(w) {
+			continue
+		}
+		// w ∈ NEW_i has exactly one DOM_i neighbour; if w is adjacent to v,
+		// that neighbour is v.
+		return w
+	}
+	return -1
+}
+
+// VerifyLambda checks the structural properties the correctness proof of
+// algorithm B relies on (beyond the stage invariants):
+//
+//   - x1(v) = 1 iff v ∈ ⋃ DOM_i;
+//   - every v ∈ DOM_{i+1} ∩ DOM_i has exactly one neighbour in NEW_i with
+//     x2 = 1 (so v's "stay" reception in round 2i never collides);
+//   - every node with x2 = 1 was picked for exactly one stage.
+func VerifyLambda(l *Labeling) error {
+	g := l.Stages.G
+	domUnion := l.Stages.DomUnion()
+	for v, lab := range l.Labels {
+		if lab.X1() != domUnion.Has(v) {
+			return fmt.Errorf("core: x1(%d)=%v but DOM-membership=%v", v, lab.X1(), domUnion.Has(v))
+		}
+	}
+	for i := 1; i+1 <= l.Stages.NumStored(); i++ {
+		cur := l.Stages.Stage(i)
+		next := l.Stages.Stage(i + 1)
+		var err error
+		cur.Dom.ForEach(func(v int) {
+			if err != nil || !next.Dom.Has(v) {
+				return
+			}
+			count := 0
+			for _, w := range g.Neighbors(v) {
+				if cur.New.Has(w) && l.Labels[w].X2() {
+					count++
+				}
+			}
+			if count != 1 {
+				err = fmt.Errorf("core: v=%d ∈ DOM_%d ∩ DOM_%d has %d x2-senders in NEW_%d, want 1", v, i, i+1, count, i)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for w, lab := range l.Labels {
+		if lab.X2() && l.StayPick[w] == 0 {
+			return fmt.Errorf("core: x2(%d)=1 but node was never picked", w)
+		}
+		if !lab.X2() && l.StayPick[w] != 0 {
+			return fmt.Errorf("core: x2(%d)=0 but node was picked at stage %d", w, l.StayPick[w])
+		}
+	}
+	// Minimality of every DOM_i (the progress engine).
+	for i := 1; i <= l.Stages.NumStored(); i++ {
+		stage := l.Stages.Stage(i)
+		if i >= 2 && !domset.IsMinimal(g, stage.Dom, stage.Frontier) {
+			return fmt.Errorf("core: DOM_%d not minimal", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"radiobcast/internal/graph"
+)
+
+// Session supports the paper's motivating deployment (§1.2): labels are
+// assigned once by a central monitor, then the source broadcasts *many
+// consecutive messages*, each as an acknowledged broadcast, sending the
+// next message only after the previous one was acknowledged. A Session
+// owns the λack labeling for a (graph, source) pair and replays it.
+type Session struct {
+	g      *graph.Graph
+	source int
+	label  *Labeling
+
+	// History accumulates one record per message sent.
+	History []SessionRecord
+}
+
+// SessionRecord summarises one acknowledged broadcast of a session.
+type SessionRecord struct {
+	Mu              string
+	CompletionRound int
+	AckRound        int
+}
+
+// NewSession labels g with λack for the given source.
+func NewSession(g *graph.Graph, source int, opt BuildOptions) (*Session, error) {
+	l, err := LambdaAck(g, source, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{g: g, source: source, label: l}, nil
+}
+
+// Labels exposes the session's labeling (e.g. to flash onto devices).
+func (s *Session) Labels() []Label { return s.label.Labels }
+
+// Z returns the acknowledgement initiator.
+func (s *Session) Z() int { return s.label.Z }
+
+// Send performs one acknowledged broadcast of mu and returns its record.
+// It fails if the broadcast is not acknowledged — in which case the caller
+// must not send further messages (the paper's protocol relies on the
+// acknowledgement to serialise messages).
+func (s *Session) Send(mu string) (SessionRecord, error) {
+	out, err := RunAcknowledgedLabeled(s.g, s.label, s.source, mu)
+	if err != nil {
+		return SessionRecord{}, err
+	}
+	if err := VerifyAcknowledged(out, mu); err != nil {
+		return SessionRecord{}, fmt.Errorf("core: session send %q: %w", mu, err)
+	}
+	rec := SessionRecord{Mu: mu, CompletionRound: out.CompletionRound, AckRound: out.AckRound}
+	s.History = append(s.History, rec)
+	return rec, nil
+}
+
+// SendAll sends each message in order, stopping at the first failure, and
+// returns the total number of rounds consumed (sum of ack rounds — each
+// broadcast starts only after the previous acknowledgement).
+func (s *Session) SendAll(mus []string) (totalRounds int, err error) {
+	for _, mu := range mus {
+		rec, err := s.Send(mu)
+		if err != nil {
+			return totalRounds, err
+		}
+		totalRounds += rec.AckRound
+	}
+	return totalRounds, nil
+}

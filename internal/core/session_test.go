@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"radiobcast/internal/graph"
+)
+
+func TestSessionSendsSequence(t *testing.T) {
+	g := graph.Grid(4, 4)
+	s, err := NewSession(g, 0, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []string{"alpha", "beta", "gamma"}
+	total, err := s.SendAll(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.History) != 3 {
+		t.Fatalf("history length %d", len(s.History))
+	}
+	sum := 0
+	for i, rec := range s.History {
+		if rec.Mu != msgs[i] {
+			t.Fatalf("history[%d].Mu = %q", i, rec.Mu)
+		}
+		if rec.AckRound <= rec.CompletionRound {
+			t.Fatalf("ack %d not after completion %d", rec.AckRound, rec.CompletionRound)
+		}
+		sum += rec.AckRound
+	}
+	if total != sum {
+		t.Fatalf("total = %d, want %d", total, sum)
+	}
+	// Same labels → identical schedule for every message.
+	if s.History[0].AckRound != s.History[2].AckRound {
+		t.Fatal("repeated broadcasts should have identical timing")
+	}
+}
+
+func TestSessionLabelsExposed(t *testing.T) {
+	g := graph.Path(5)
+	s, err := NewSession(g, 0, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxLen(s.Labels()) != 3 {
+		t.Fatalf("label length %d, want 3", MaxLen(s.Labels()))
+	}
+	if s.Z() != 4 {
+		t.Fatalf("z = %d, want the far endpoint 4", s.Z())
+	}
+}
+
+func TestBroadcastInvariantUnderRelabeling(t *testing.T) {
+	// Renaming nodes must preserve every guarantee (the DOM sets chosen may
+	// differ, but completion ≤ 2n−3 and full information always hold).
+	for seed := int64(0); seed < 20; seed++ {
+		g := graph.GNPConnected(24, 0.15, seed)
+		perm := graph.RandomPermutation(24, seed+100)
+		relabeled := graph.Relabel(g, perm)
+		out1, err := RunBroadcast(g, 3, "m", BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out2, err := RunBroadcast(relabeled, perm[3], "m", BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyBroadcast(out1, "m"); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyBroadcast(out2, "m"); err != nil {
+			t.Fatalf("seed %d: relabeled graph: %v", seed, err)
+		}
+		// ℓ is permutation-invariant? Not necessarily (prune order is index
+		// based), but the 2n−3 bound and stage count ≤ n must hold in both.
+		if out1.Stages.L > 24 || out2.Stages.L > 24 {
+			t.Fatal("ℓ > n")
+		}
+	}
+}

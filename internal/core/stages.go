@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"radiobcast/internal/domset"
+	"radiobcast/internal/graph"
+	"radiobcast/internal/nodeset"
+)
+
+// Stage holds the five sets of one stage i of the construction in §2.1.
+type Stage struct {
+	// Inf is INF_i: nodes informed before round 2i−1.
+	Inf *nodeset.Set
+	// Uninf is UNINF_i: nodes not informed before round 2i−1.
+	Uninf *nodeset.Set
+	// Frontier is FRONTIER_i: uninformed nodes adjacent to an informed one.
+	Frontier *nodeset.Set
+	// Dom is DOM_i: the minimal dominating subset that transmits in round 2i−1.
+	Dom *nodeset.Set
+	// New is NEW_i: frontier nodes adjacent to exactly one DOM_i node —
+	// exactly the nodes newly informed in round 2i−1 (Lemma 2.8).
+	New *nodeset.Set
+}
+
+// Stages is the full construction for a (graph, source) pair.
+type Stages struct {
+	G      *graph.Graph
+	Source int
+	// ByIndex[i-1] is stage i; stages run 1..L.
+	ByIndex []Stage
+	// L is ℓ: the smallest i with INF_i = V(G). The last entry of ByIndex
+	// is stage L−1 when L > 1 (stage L has INF = V and is not stored;
+	// DOM_L/NEW_L are empty by construction).
+	L int
+	// Restricted reports whether the construction used the conclusion's
+	// restricted recursion DOM_i ⊆ DOM_{i−1} (see BuildOptions).
+	Restricted bool
+	// Stalled is the stage at which a restricted construction could not
+	// continue (0 when the construction completed). Only a restricted
+	// construction can stall; the standard one always progresses (Lemma 2.5).
+	Stalled int
+}
+
+// BuildOptions tunes the construction.
+type BuildOptions struct {
+	// Order is the minimality prune order (default Ascending; any order
+	// yields a correct scheme — the ABLDOM experiment compares them).
+	Order domset.PruneOrder
+	// Restricted, when true, replaces the candidate set DOM_{i−1} ∪ NEW_{i−1}
+	// with DOM_{i−1} as hinted in the paper's conclusion for the 1-bit
+	// radius-2 scheme. This recursion stalls on general graphs (the hint as
+	// literally stated is incomplete); we implement it to document that.
+	Restricted bool
+	// SkipMinimality, when true, keeps the full candidate set instead of a
+	// minimal subset. This deliberately violates the construction to
+	// demonstrate that minimality is load-bearing: NEW_i can become empty
+	// while FRONTIER_i is not (breaking Lemma 2.4). Used by ablations only.
+	SkipMinimality bool
+}
+
+// BuildStages runs the construction of §2.1 and returns the stage sets.
+// It returns an error only in the deliberately broken modes (Restricted or
+// SkipMinimality) when progress stops; the standard construction always
+// completes on connected graphs.
+func BuildStages(g *graph.Graph, source int, opt BuildOptions) (*Stages, error) {
+	n := g.N()
+	if source < 0 || source >= n {
+		panic(fmt.Sprintf("core: source %d out of range [0,%d)", source, n))
+	}
+	st := &Stages{G: g, Source: source, Restricted: opt.Restricted}
+
+	inf := nodeset.Of(n, source)
+	uninf := nodeset.Full(n)
+	uninf.Remove(source)
+	frontier := g.NeighborSet(source).Clone()
+	dom := nodeset.Of(n, source)
+	newSet := frontier.Clone()
+
+	st.ByIndex = append(st.ByIndex, Stage{
+		Inf: inf.Clone(), Uninf: uninf.Clone(), Frontier: frontier.Clone(),
+		Dom: dom.Clone(), New: newSet.Clone(),
+	})
+	if inf.Count()+newSet.Count() == n && n == 1 {
+		st.L = 1
+		return st, nil
+	}
+
+	for i := 2; ; i++ {
+		prevDom, prevNew := dom, newSet
+		inf = nodeset.Union(inf, prevNew)
+		if inf.Count() == n {
+			st.L = i
+			return st, nil
+		}
+		uninf = nodeset.Subtract(uninf, prevNew)
+		// FRONTIER_i = UNINF_i ∩ Γ(INF_i), computed incrementally:
+		// previous frontier survivors plus uninformed neighbours of NEW_{i−1}.
+		frontier = nodeset.Intersect(frontier, uninf)
+		frontier.UnionWith(nodeset.Intersect(g.Neighborhood(prevNew), uninf))
+
+		candidates := prevDom.Clone()
+		if !opt.Restricted {
+			candidates.UnionWith(prevNew)
+		}
+		if opt.SkipMinimality {
+			dom = restrictToUseful(g, candidates, frontier)
+			if !domset.Dominates(g, dom, frontier) {
+				st.Stalled = i
+				return st, fmt.Errorf("core: stage %d: candidates do not dominate frontier (skip-minimality mode)", i)
+			}
+		} else {
+			var err error
+			dom, err = domset.MinimalSubset(g, candidates, frontier, opt.Order)
+			if err != nil {
+				st.Stalled = i
+				return st, fmt.Errorf("core: stage %d: %v (restricted=%v)", i, err, opt.Restricted)
+			}
+		}
+
+		newSet = exactlyOneNeighbor(g, frontier, dom)
+		st.ByIndex = append(st.ByIndex, Stage{
+			Inf: inf.Clone(), Uninf: uninf.Clone(), Frontier: frontier.Clone(),
+			Dom: dom.Clone(), New: newSet.Clone(),
+		})
+		if newSet.Empty() {
+			// Lemma 2.4 guarantees this never happens in the standard
+			// construction; it does happen with SkipMinimality.
+			st.Stalled = i
+			return st, fmt.Errorf("core: stage %d: no progress (NEW empty, frontier %v)", i, frontier)
+		}
+		if i > n {
+			st.Stalled = i
+			return st, fmt.Errorf("core: stage count exceeded n=%d (Lemma 2.6 violated)", n)
+		}
+	}
+}
+
+// restrictToUseful keeps candidates with at least one frontier neighbour.
+func restrictToUseful(g *graph.Graph, candidates, frontier *nodeset.Set) *nodeset.Set {
+	kept := nodeset.New(g.N())
+	candidates.ForEach(func(c int) {
+		for _, w := range g.Neighbors(c) {
+			if frontier.Has(w) {
+				kept.Add(c)
+				return
+			}
+		}
+	})
+	return kept
+}
+
+// exactlyOneNeighbor returns the frontier nodes with exactly one neighbour
+// in dom (the definition of NEW_i).
+func exactlyOneNeighbor(g *graph.Graph, frontier, dom *nodeset.Set) *nodeset.Set {
+	out := nodeset.New(g.N())
+	frontier.ForEach(func(v int) {
+		count := 0
+		for _, w := range g.Neighbors(v) {
+			if dom.Has(w) {
+				count++
+				if count > 1 {
+					return
+				}
+			}
+		}
+		if count == 1 {
+			out.Add(v)
+		}
+	})
+	return out
+}
+
+// Stage returns stage i (1-based). Panics if out of range.
+func (s *Stages) Stage(i int) Stage {
+	if i < 1 || i > len(s.ByIndex) {
+		panic(fmt.Sprintf("core: stage %d out of range [1,%d]", i, len(s.ByIndex)))
+	}
+	return s.ByIndex[i-1]
+}
+
+// NumStored returns the number of stored stages (ℓ−1 for ℓ > 1, else 1).
+func (s *Stages) NumStored() int { return len(s.ByIndex) }
+
+// DomUnion returns the union of all DOM_i (the x1 = 1 nodes).
+func (s *Stages) DomUnion() *nodeset.Set {
+	u := nodeset.New(s.G.N())
+	for _, stage := range s.ByIndex {
+		u.UnionWith(stage.Dom)
+	}
+	return u
+}
+
+// InformedStage returns, for each node, the stage i at which it appears in
+// NEW_i (0 for the source). Together with Lemma 2.8 this is the round
+// (2i−1) in which the node is informed.
+func (s *Stages) InformedStage() []int {
+	out := make([]int, s.G.N())
+	for i, stage := range s.ByIndex {
+		stage.New.ForEach(func(v int) { out[v] = i + 1 })
+	}
+	return out
+}
+
+// CheckStageInvariants validates every fact and lemma of §2.1 against the
+// computed stages, returning the first violation found. It is used by the
+// test suite and the L26 experiment; a nil result machine-checks:
+//
+//	Fact 2.1:   NEW_i ⊆ FRONTIER_i ⊆ UNINF_i
+//	Fact 2.2:   INF_i = INF_1 ∪ ⋃_{j<i} NEW_j and UNINF_i = complement
+//	Lemma 2.3:  the NEW_i are pairwise disjoint
+//	Lemma 2.4:  INF_i ≠ V ⇒ NEW_i ≠ ∅
+//	(step 4):   DOM_i ⊆ DOM_{i−1} ∪ NEW_{i−1}, minimal, dominates FRONTIER_i
+//	Lemma 2.6:  ℓ ≤ n
+//	Cor. 2.7:   NEW_1 … NEW_{ℓ−1} partition V ∖ {source}
+func CheckStageInvariants(s *Stages) error {
+	n := s.G.N()
+	if s.L > n {
+		return fmt.Errorf("Lemma 2.6 violated: ℓ=%d > n=%d", s.L, n)
+	}
+	accNew := nodeset.New(n)
+	for i, stage := range s.ByIndex {
+		idx := i + 1
+		if !stage.New.SubsetOf(stage.Frontier) || !stage.Frontier.SubsetOf(stage.Uninf) {
+			return fmt.Errorf("Fact 2.1 violated at stage %d", idx)
+		}
+		wantInf := nodeset.Of(n, s.Source).UnionWith(accNew)
+		if !stage.Inf.Equal(wantInf) {
+			return fmt.Errorf("Fact 2.2 violated at stage %d: INF=%v want %v", idx, stage.Inf, wantInf)
+		}
+		wantUninf := nodeset.Subtract(nodeset.Full(n), wantInf)
+		if !stage.Uninf.Equal(wantUninf) {
+			return fmt.Errorf("Fact 2.2 violated at stage %d: UNINF=%v want %v", idx, stage.Uninf, wantUninf)
+		}
+		if !accNew.Disjoint(stage.New) {
+			return fmt.Errorf("Lemma 2.3 violated at stage %d: NEW sets intersect", idx)
+		}
+		if stage.Inf.Count() < n && stage.New.Empty() && s.Stalled == 0 {
+			return fmt.Errorf("Lemma 2.4 violated at stage %d: no progress", idx)
+		}
+		if idx >= 2 {
+			prev := s.ByIndex[i-1]
+			candidates := nodeset.Union(prev.Dom, prev.New)
+			if s.Restricted {
+				candidates = prev.Dom.Clone()
+			}
+			if !stage.Dom.SubsetOf(candidates) {
+				return fmt.Errorf("DOM_%d not a subset of DOM_%d ∪ NEW_%d", idx, idx-1, idx-1)
+			}
+			if !domset.IsMinimal(s.G, stage.Dom, stage.Frontier) {
+				return fmt.Errorf("DOM_%d not a minimal dominating set of FRONTIER_%d", idx, idx)
+			}
+		}
+		// NEW_i definition check.
+		want := exactlyOneNeighbor(s.G, stage.Frontier, stage.Dom)
+		if !stage.New.Equal(want) {
+			return fmt.Errorf("NEW_%d ≠ exactly-one-DOM-neighbour set", idx)
+		}
+		accNew.UnionWith(stage.New)
+	}
+	if s.Stalled == 0 {
+		// Corollary 2.7: the NEW sets partition V ∖ {source}.
+		wantAll := nodeset.Full(n)
+		wantAll.Remove(s.Source)
+		if !accNew.Equal(wantAll) {
+			return fmt.Errorf("Corollary 2.7 violated: ⋃NEW=%v ≠ V∖{s}", accNew)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radiobcast/internal/baseline"
+	"radiobcast/internal/core"
+	"radiobcast/internal/graph"
+	"radiobcast/internal/sweep"
+)
+
+// BaselinesExperiment compares λ against the introduction's alternatives on
+// both axes the paper cares about: label length (bits) and completion time
+// (rounds). The expected shape: λ always uses 2 bits with Θ(n) time;
+// round-robin uses ⌈log n⌉ bits with Θ(n·D)-ish time; colour-robin uses
+// O(log Δ) bits and wins on time for bounded-degree graphs but its label
+// length blows up on stars/cliques; the centralized scheduler (full
+// topology knowledge, no labels) lower-bounds what schedules can do.
+func BaselinesExperiment(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:    "BASE",
+		Title: "Label bits vs completion rounds: λ, round-robin, colour-robin, centralized",
+		Caption: "bits = scheme length in bits (centralized hands out full schedules, not labels);" +
+			" rounds = completion round of the broadcast.",
+		Columns: []string{"family", "n", "Δ", "ecc",
+			"λ bits", "λ rounds", "RR bits", "RR rounds",
+			"color bits", "color rounds", "central rounds"},
+	}
+	type row struct {
+		fam                string
+		n, maxDeg, ecc     int
+		lamRounds          int
+		rrBits, rrRounds   int
+		colBits, colRounds int
+		centralRounds      int
+		err                error
+	}
+	rows := sweep.Map(familyGrid(cfg), cfg.Workers, func(c familyCase) row {
+		g := graph.Families[c.Family](c.N)
+		n := g.N()
+		if n < 2 {
+			return row{fam: c.Family, n: n}
+		}
+		lam, err := core.RunBroadcast(g, 0, "m", core.BuildOptions{})
+		if err != nil {
+			return row{fam: c.Family, n: n, err: err}
+		}
+		rr, err := baseline.RunRoundRobin(g, 0, "m")
+		if err != nil {
+			return row{fam: c.Family, n: n, err: err}
+		}
+		col, err := baseline.RunColorRobin(g, 0, "m")
+		if err != nil {
+			return row{fam: c.Family, n: n, err: err}
+		}
+		cen, err := baseline.RunCentralized(g, 0, "m")
+		if err != nil {
+			return row{fam: c.Family, n: n, err: err}
+		}
+		return row{
+			fam: c.Family, n: n, maxDeg: g.MaxDegree(), ecc: g.Eccentricity(0),
+			lamRounds: lam.CompletionRound,
+			rrBits:    rr.LabelBits, rrRounds: rr.CompletionRound,
+			colBits: col.LabelBits, colRounds: col.CompletionRound,
+			centralRounds: cen.CompletionRound,
+		}
+	})
+	for _, r := range rows {
+		if r.err != nil {
+			return nil, fmt.Errorf("%s n=%d: %w", r.fam, r.n, r.err)
+		}
+		if r.n < 2 {
+			continue
+		}
+		t.AddRow(r.fam, r.n, r.maxDeg, r.ecc,
+			2, r.lamRounds, r.rrBits, r.rrRounds,
+			r.colBits, r.colRounds, r.centralRounds)
+	}
+	return []*Table{t}, nil
+}
+
+// MessageSizeExperiment verifies the message-size claims: B's messages stay
+// constant-size (kind + |µ|) while Back's grow as Θ(log n) (the appended
+// round number, Lemma 3.5).
+func MessageSizeExperiment(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "MSG",
+		Title:   "Maximum message size in bits (paths; payload µ = 1 byte)",
+		Caption: "B is constant; Back tracks 3 + 8 + ⌈log₂(max timestamp)⌉ ≈ O(log n).",
+		Columns: []string{"n", "B bits", "Back bits", "⌈log₂(2n)⌉"},
+	}
+	for _, n := range cfg.Sizes() {
+		g := graph.Path(n)
+		b, err := core.RunBroadcast(g, 0, "m", core.BuildOptions{})
+		if err != nil {
+			return nil, err
+		}
+		back, err := core.RunAcknowledged(g, 0, "m", core.BuildOptions{})
+		if err != nil {
+			return nil, err
+		}
+		logTerm := 0
+		for (1 << uint(logTerm)) < 2*n {
+			logTerm++
+		}
+		if b.Result.MaxMessageBits > 11 {
+			return nil, fmt.Errorf("n=%d: B messages %d bits, want constant", n, b.Result.MaxMessageBits)
+		}
+		t.AddRow(n, b.Result.MaxMessageBits, back.Result.MaxMessageBits, logTerm)
+	}
+	return []*Table{t}, nil
+}
+
+// EnergyExperiment measures per-node and total transmissions of B: the
+// schedule transmits only from DOM sets, so totals stay linear in n.
+func EnergyExperiment(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "ENERGY",
+		Title:   "Transmission counts of algorithm B",
+		Columns: []string{"family", "n", "total tx", "tx/n", "max tx per node"},
+	}
+	type row struct {
+		fam          string
+		n, total, mx int
+		err          error
+	}
+	rows := sweep.Map(familyGrid(cfg), cfg.Workers, func(c familyCase) row {
+		g := graph.Families[c.Family](c.N)
+		out, err := core.RunBroadcast(g, 0, "m", core.BuildOptions{})
+		if err != nil {
+			return row{fam: c.Family, n: g.N(), err: err}
+		}
+		return row{
+			fam: c.Family, n: g.N(),
+			total: out.Result.TotalTransmissions,
+			mx:    out.Result.MaxTransmissionsPerNode(),
+		}
+	})
+	for _, r := range rows {
+		if r.err != nil {
+			return nil, fmt.Errorf("%s n=%d: %w", r.fam, r.n, r.err)
+		}
+		t.AddRow(r.fam, r.n, r.total, float64(r.total)/float64(r.n), r.mx)
+	}
+	return []*Table{t}, nil
+}

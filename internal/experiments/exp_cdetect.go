@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"radiobcast/internal/cdetect"
+	"radiobcast/internal/graph"
+	"radiobcast/internal/sweep"
+)
+
+// CollisionDetectionExperiment demonstrates the paper's §1.1 remark: with
+// collision detection, broadcast is feasible even in anonymous networks
+// (no labels at all) — including on the four-cycle where the label-free
+// model without collision detection provably fails (experiment IMP).
+func CollisionDetectionExperiment(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:    "CD",
+		Title: "Anonymous broadcast with collision detection (§1.1 remark)",
+		Caption: "beep pipeline: bit k reaches distance class d in round 3k+d;" +
+			" completion = 3(L−1) + ecc with L = 17 + 8·|µ| encoded bits.",
+		Columns: []string{"family", "n", "ecc", "bits L", "completion", "3(L−1)+ecc", "exact"},
+	}
+	mu := "µ!"
+	type row struct {
+		fam                      string
+		n, ecc, bits, done, pred int
+		err                      error
+	}
+	rows := sweep.Map(familyGrid(cfg), cfg.Workers, func(c familyCase) row {
+		g := graph.Families[c.Family](c.N)
+		out, err := cdetect.Run(g, 0, mu)
+		if err != nil {
+			return row{fam: c.Family, n: g.N(), err: err}
+		}
+		done := 0
+		for _, d := range out.DoneRound {
+			if d > done {
+				done = d
+			}
+		}
+		return row{
+			fam: c.Family, n: g.N(), ecc: g.Eccentricity(0),
+			bits: out.BitsSent, done: done,
+			pred: 3*(out.BitsSent-1) + g.Eccentricity(0),
+		}
+	})
+	for _, r := range rows {
+		if r.err != nil {
+			return nil, fmt.Errorf("%s n=%d: %w", r.fam, r.n, r.err)
+		}
+		exact := r.done == r.pred
+		if !exact {
+			return nil, fmt.Errorf("%s n=%d: completion %d, predicted %d", r.fam, r.n, r.done, r.pred)
+		}
+		t.AddRow(r.fam, r.n, r.ecc, r.bits, r.done, r.pred, boolMark(exact))
+	}
+
+	// The headline contrast with IMP: the four-cycle, anonymously.
+	c4 := &Table{
+		ID:      "CD-fourcycle",
+		Title:   "Four-cycle: impossible without collision detection, trivial with it",
+		Columns: []string{"model", "labels", "antipode informed"},
+	}
+	out, err := cdetect.Run(graph.Cycle(4), 0, mu)
+	if err != nil {
+		return nil, err
+	}
+	c4.AddRow("no collision detection (IMP)", "none (uniform)", "never")
+	c4.AddRow("collision detection (this experiment)", "none (anonymous)",
+		fmt.Sprintf("decodes µ by round %d", out.DoneRound[2]))
+	c4.AddRow("no collision detection + λ (T29)", "2-bit λ", "round 3")
+	return []*Table{t, c4}, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Workers: 4} }
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "demo", Caption: "cap",
+		Columns: []string{"a", "bee"},
+	}
+	tab.AddRow(1, "x")
+	tab.AddRow(22, 3.14159)
+	out := tab.Render()
+	if !strings.Contains(out, "== X: demo ==") || !strings.Contains(out, "3.14") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("x,y", `q"z`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""z"`) {
+		t.Fatalf("csv quoting wrong:\n%s", csv)
+	}
+}
+
+func TestFindRegistry(t *testing.T) {
+	if _, ok := Find("T29"); !ok {
+		t.Fatal("T29 missing from registry")
+	}
+	if _, ok := Find("NOPE"); ok {
+		t.Fatal("found nonexistent experiment")
+	}
+	seen := map[string]bool{}
+	for _, e := range Registry {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Desc == "" || e.Gen == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestConfigSizes(t *testing.T) {
+	if len(Config{Quick: true}.Sizes()) >= len(Config{}.Sizes()) {
+		t.Fatal("quick sweep should be smaller")
+	}
+}
+
+// Each experiment runs end to end in quick mode and produces non-empty,
+// well-formed tables. These tests ARE the reproduction: a generator fails
+// if any paper claim it checks is violated.
+
+func runExp(t *testing.T, id string) []*Table {
+	t.Helper()
+	e, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tables, err := e.Gen(quickCfg())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tables) == 0 {
+		t.Fatalf("%s: no tables", id)
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s/%s: empty table", id, tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Fatalf("%s/%s: ragged row %v", id, tab.ID, row)
+			}
+		}
+	}
+	return tables
+}
+
+func TestFigure1Experiment(t *testing.T) {
+	tables := runExp(t, "FIG1")
+	// Every node row must match the golden values.
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("FIG1 mismatch: %v", row)
+		}
+	}
+}
+
+func TestTheorem29Experiment(t *testing.T)          { runExp(t, "T29") }
+func TestLemma26Experiment(t *testing.T)            { runExp(t, "L26") }
+func TestFact31Experiment(t *testing.T)             { runExp(t, "F31") }
+func TestTheorem39Experiment(t *testing.T)          { runExp(t, "T39") }
+func TestCommonRoundExperiment(t *testing.T)        { runExp(t, "CR") }
+func TestArbitraryExperiment(t *testing.T)          { runExp(t, "ARB") }
+func TestImpossibilityExperiment(t *testing.T)      { runExp(t, "IMP") }
+func TestCollisionDetectionExperiment(t *testing.T) { runExp(t, "CD") }
+func TestBaselinesExperiment(t *testing.T)          { runExp(t, "BASE") }
+func TestMessageSizeExperiment(t *testing.T)        { runExp(t, "MSG") }
+func TestEnergyExperiment(t *testing.T)             { runExp(t, "ENERGY") }
+func TestDomAblationExperiment(t *testing.T)        { runExp(t, "ABLDOM") }
+func TestZAblationExperiment(t *testing.T)          { runExp(t, "ABLZ") }
+func TestOneBitExperiment(t *testing.T)             { runExp(t, "ONEBIT") }
+func TestFaultExperiment(t *testing.T)              { runExp(t, "FAULT") }
+func TestParallelExperiment(t *testing.T)           { runExp(t, "PAR") }
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tables, err := RunAll(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) < len(Registry) {
+		t.Fatalf("RunAll produced %d tables for %d experiments", len(tables), len(Registry))
+	}
+}

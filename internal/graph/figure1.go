@@ -1,0 +1,66 @@
+package graph
+
+// Figure1 returns the 13-node reconstruction of the paper's Figure 1.
+//
+// The arXiv text rendering of the figure is corrupted (the 2-D drawing
+// collapsed into interleaved token rows and the printed reception sets are
+// mutually inconsistent — see DESIGN.md §2). This reconstruction was derived
+// from the printed transmit sets and label rows; under the default λ
+// construction (ascending prune order) it reproduces the figure exactly:
+//
+//	label multiset:  5×"10", 2×"11", 1×"01", 5×"00"
+//	transmit rounds: {1},{3},{3,5},{3,5,7},{5},{4,5},{4,5},{6},∅,∅,∅,∅,∅
+//	broadcast completes in round 7 = 2ℓ−3 with ℓ = 5 stages
+//
+// Node roles (ids fixed so the default construction reproduces the figure):
+//
+//	0  source s                             label 10, transmits {1}
+//	1  first-ring node A (DOM_2, pruned from DOM_3)   10, {3}
+//	2  first-ring node C (DOM_2 ∩ DOM_3)              10, {3,5}
+//	3  first-ring node B (DOM_2 ∩ DOM_3 ∩ DOM_4)      10, {3,5,7}
+//	4  E = A's private frontier node (DOM_3)          10, {5}
+//	5  D = B's private, stay-sender for B             11, {4,5}
+//	6  F = C's private, stay-sender for C             11, {4,5}
+//	7  G = stay-sender keeping B in DOM_4             01, {6}
+//	8  K — informed round 5 via C                     00
+//	9,10,11 — privates of E, D, F, informed round 5   00
+//	12 P — collision node, informed last (round 7)    00
+func Figure1() *Graph {
+	g := New(13)
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {0, 3}, // source to first ring A, C, B
+		{1, 2},         // A–C: makes A collide in round 5
+		{1, 4},         // A–E (A's private)
+		{3, 5},         // B–D (B's private / stay sender)
+		{2, 6},         // C–F (C's private / stay sender)
+		{1, 7}, {3, 7}, // G adjacent to A and B: collision in round 3
+		{1, 8}, {2, 8}, // K adjacent to A and C: collision in round 3
+		{4, 9},           // E's private at stage 3
+		{5, 10},          // D's private at stage 3
+		{6, 11},          // F's private at stage 3
+		{3, 12}, {2, 12}, // P adjacent to B and C: informed last
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// Figure1Source is the designated source node of the Figure 1 graph.
+const Figure1Source = 0
+
+// Figure1Labels is the expected λ labeling of the Figure 1 graph
+// ("x1x2" strings), used as a golden value in tests.
+var Figure1Labels = []string{
+	"10", "10", "10", "10", "10", "11", "11", "01", "00", "00", "00", "00", "00",
+}
+
+// Figure1Transmits is the expected per-node transmit schedule of algorithm B
+// on the Figure 1 graph (golden value; matches the paper's printed sets).
+var Figure1Transmits = [][]int{
+	{1}, {3}, {3, 5}, {3, 5, 7}, {5}, {4, 5}, {4, 5}, {6}, {}, {}, {}, {}, {},
+}
+
+// Figure1InformedRounds is the expected round in which each node first
+// receives the source message (0 for the source itself).
+var Figure1InformedRounds = []int{0, 1, 1, 1, 3, 3, 3, 5, 5, 5, 5, 5, 7}

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Relabel returns the graph with node v renamed to perm[v]. perm must be a
+// permutation of 0..n-1. Used by the test suite to check that the paper's
+// guarantees are invariant under renaming (the labeling construction itself
+// may pick different — equally valid — DOM sets under different orderings).
+func Relabel(g *Graph, perm []int) *Graph {
+	n := g.N()
+	if len(perm) != n {
+		panic(fmt.Sprintf("graph: permutation length %d for %d nodes", len(perm), n))
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			panic("graph: not a permutation")
+		}
+		seen[p] = true
+	}
+	out := New(n)
+	for _, e := range g.Edges() {
+		out.AddEdge(perm[e[0]], perm[e[1]])
+	}
+	return out
+}
+
+// RandomPermutation returns a uniformly random permutation of 0..n-1,
+// deterministic in seed.
+func RandomPermutation(n int, seed int64) []int {
+	r := rand.New(rand.NewSource(seed))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return perm
+}

@@ -1,0 +1,78 @@
+package graph
+
+// This file supports the O(log Δ)-bit baseline sketched in the paper's
+// introduction: "by using a proper colouring of the square of the graph,
+// O(log Δ)-bit labels are enough to successfully broadcast". We build G²
+// and colour it greedily; any two nodes at distance ≤ 2 in G receive
+// distinct colours, so in a colour-slotted round-robin at most one
+// neighbour of any listener transmits per slot.
+
+// Square returns G²: same nodes, with an edge between every pair of
+// distinct nodes at distance 1 or 2 in g.
+func (g *Graph) Square() *Graph {
+	sq := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				sq.AddEdge(u, v)
+			}
+			for _, w := range g.adj[v] {
+				if u < w {
+					sq.AddEdge(u, w)
+				}
+			}
+		}
+	}
+	return sq
+}
+
+// GreedyColoring colours the graph greedily in ascending node order and
+// returns (colors, numColors). Colours are 0-based and at most MaxDegree+1
+// of them are used.
+func (g *Graph) GreedyColoring() ([]int, int) {
+	colors := make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	used := make([]bool, g.MaxDegree()+1)
+	numColors := 0
+	for v := 0; v < g.n; v++ {
+		for i := range used {
+			used[i] = false
+		}
+		for _, w := range g.adj[v] {
+			if c := colors[w]; c >= 0 {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	return colors, numColors
+}
+
+// Distance2Coloring returns a colouring of g in which nodes at distance
+// ≤ 2 get distinct colours, together with the number of colours used
+// (at most Δ² + 1).
+func (g *Graph) Distance2Coloring() ([]int, int) {
+	return g.Square().GreedyColoring()
+}
+
+// VerifyColoring reports whether colors is a proper colouring of g.
+func VerifyColoring(g *Graph, colors []int) bool {
+	if len(colors) != g.N() {
+		return false
+	}
+	for _, e := range g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSquarePath(t *testing.T) {
+	g := Path(5)
+	sq := g.Square()
+	// P5²: edges at distance 1 and 2.
+	if !sq.HasEdge(0, 2) || !sq.HasEdge(1, 3) || !sq.HasEdge(0, 1) {
+		t.Fatal("square missing distance-2 edges")
+	}
+	if sq.HasEdge(0, 3) {
+		t.Fatal("square has distance-3 edge")
+	}
+	if sq.M() != 4+3 {
+		t.Fatalf("P5² m = %d, want 7", sq.M())
+	}
+}
+
+func TestSquareStar(t *testing.T) {
+	// Star's square is complete: all leaves are at distance 2.
+	sq := Star(6).Square()
+	if sq.M() != 15 {
+		t.Fatalf("K1,5² m = %d, want 15", sq.M())
+	}
+}
+
+func TestGreedyColoringProper(t *testing.T) {
+	g := Cycle(7)
+	colors, k := g.GreedyColoring()
+	if !VerifyColoring(g, colors) {
+		t.Fatal("greedy colouring not proper")
+	}
+	if k > g.MaxDegree()+1 {
+		t.Fatalf("greedy used %d colours > Δ+1 = %d", k, g.MaxDegree()+1)
+	}
+}
+
+func TestDistance2ColoringSeparatesNeighbourhoods(t *testing.T) {
+	g := Grid(4, 4)
+	colors, k := g.Distance2Coloring()
+	if k < 1 {
+		t.Fatal("no colours")
+	}
+	// No two distinct neighbours of any node may share a colour.
+	for v := 0; v < g.N(); v++ {
+		seen := map[int]int{}
+		for _, w := range g.Neighbors(v) {
+			if prev, ok := seen[colors[w]]; ok {
+				t.Fatalf("nodes %d and %d (both neighbours of %d) share colour %d",
+					prev, w, v, colors[w])
+			}
+			seen[colors[w]] = w
+		}
+		// v itself must differ from all its neighbours.
+		for _, w := range g.Neighbors(v) {
+			if colors[w] == colors[v] {
+				t.Fatalf("node %d and neighbour %d share colour", v, w)
+			}
+		}
+	}
+}
+
+func TestQuickDistance2ColoringBound(t *testing.T) {
+	// At most Δ²+1 colours for the square colouring.
+	f := func(seed int64) bool {
+		n := 2 + int(uint64(seed)%40)
+		g := GNPConnected(n, 0.15, seed)
+		colors, k := g.Distance2Coloring()
+		if !VerifyColoring(g.Square(), colors) {
+			return false
+		}
+		d := g.MaxDegree()
+		return k <= d*d+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyColoringRejects(t *testing.T) {
+	g := Path(3)
+	if VerifyColoring(g, []int{0, 0, 1}) {
+		t.Fatal("accepted improper colouring")
+	}
+	if VerifyColoring(g, []int{0}) {
+		t.Fatal("accepted wrong-length colouring")
+	}
+}

@@ -1,0 +1,289 @@
+package radio
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"radiobcast/internal/graph"
+)
+
+// Options configures an engine run.
+type Options struct {
+	// MaxRounds bounds the execution; the run stops after this many rounds
+	// even if traffic continues. Required (> 0).
+	MaxRounds int
+
+	// StopAfterSilent, when > 0, stops the run once this many consecutive
+	// rounds had no transmissions. Algorithms whose every transmission is
+	// triggered by a reception at most two rounds earlier (B, Back) are
+	// permanently silent after 3 quiet rounds; Barb's source waits T rounds
+	// mid-run, so Barb runs must disable this or use a large value.
+	StopAfterSilent int
+
+	// Stop, when non-nil, is evaluated after each round; returning true
+	// ends the run. Use it to stop once an externally observable condition
+	// holds (e.g. the source's ack was delivered).
+	Stop func(round int) bool
+
+	// Workers selects the engine: ≤ 1 runs the sequential engine, > 1 runs
+	// the node-partitioned parallel engine with that many goroutines, and
+	// < 0 uses GOMAXPROCS workers. Results are identical in all modes.
+	Workers int
+
+	// Trace, when non-nil, records every round's transmissions and
+	// deliveries (used for Figure 1 rendering and debugging).
+	Trace *Trace
+
+	// Drop, when non-nil, injects transmission faults: if Drop(v, round)
+	// returns true, node v's transmission in that round is jammed — no
+	// neighbour hears it (nor counts it towards a collision), while v
+	// itself believes it transmitted. Used by the FAULT experiment to
+	// measure how much the paper's schedule relies on lossless delivery.
+	Drop func(node, round int) bool
+}
+
+// Reception records one successful message delivery.
+type Reception struct {
+	Round int
+	Msg   Message
+}
+
+// Result aggregates everything observable about a run.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Transmits[v] lists the rounds in which node v transmitted.
+	Transmits [][]int
+	// Receives[v] lists node v's successful receptions in round order.
+	Receives [][]Reception
+	// Collisions[v] counts rounds in which v listened while ≥ 2 neighbours
+	// transmitted.
+	Collisions []int
+	// TotalTransmissions counts all transmissions across nodes and rounds.
+	TotalTransmissions int
+	// MaxMessageBits is the largest BitLen over all transmitted messages.
+	MaxMessageBits int
+	// SilentStopped reports whether the run ended via StopAfterSilent.
+	SilentStopped bool
+}
+
+// FirstReception returns the round in which node v first successfully
+// received a message of the given kind, or 0 if it never did.
+func (r *Result) FirstReception(v int, kind Kind) int {
+	for _, rec := range r.Receives[v] {
+		if rec.Msg.Kind == kind {
+			return rec.Round
+		}
+	}
+	return 0
+}
+
+// TransmissionsPerNode returns the per-node transmission counts.
+func (r *Result) TransmissionsPerNode() []int {
+	out := make([]int, len(r.Transmits))
+	for v, ts := range r.Transmits {
+		out[v] = len(ts)
+	}
+	return out
+}
+
+// MaxTransmissionsPerNode returns the largest per-node transmission count
+// (an energy metric).
+func (r *Result) MaxTransmissionsPerNode() int {
+	m := 0
+	for _, ts := range r.Transmits {
+		if len(ts) > m {
+			m = len(ts)
+		}
+	}
+	return m
+}
+
+// Run executes the protocols on g under the radio model and returns the
+// observed result. protos[v] is node v's state machine; len(protos) must
+// equal g.N(). Each Protocol must be a fresh instance: Run drives it from
+// round 1.
+func Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
+	n := g.N()
+	if len(protos) != n {
+		panic(fmt.Sprintf("radio: %d protocols for %d nodes", len(protos), n))
+	}
+	if opt.MaxRounds <= 0 {
+		panic("radio: Options.MaxRounds must be positive")
+	}
+	workers := opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	res := &Result{
+		Transmits:  make([][]int, n),
+		Receives:   make([][]Reception, n),
+		Collisions: make([]int, n),
+	}
+	heard := make([]*Message, n) // message heard in the previous round
+	busy := make([]bool, n)      // ≥1 neighbour transmitted (collision detection)
+	actions := make([]Action, n) // this round's decisions
+	dropped := make([]bool, n)   // fault-injected transmissions this round
+	nextHeard := make([]*Message, n)
+	nextBusy := make([]bool, n)
+
+	// Collision-detection protocols get the busy flag via StepNoise.
+	noise := make([]NoiseProtocol, n)
+	for v, p := range protos {
+		if np, ok := p.(NoiseProtocol); ok {
+			noise[v] = np
+		}
+	}
+	step := func(v int) Action {
+		if noise[v] != nil {
+			return noise[v].StepNoise(heard[v], busy[v])
+		}
+		return protos[v].Step(heard[v])
+	}
+
+	silent := 0
+	for round := 1; round <= opt.MaxRounds; round++ {
+		// Phase 1: every node decides based on history through round-1.
+		if workers > 1 {
+			parallelRange(n, workers, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					actions[v] = step(v)
+				}
+			})
+		} else {
+			for v := 0; v < n; v++ {
+				actions[v] = step(v)
+			}
+		}
+
+		// Phase 2: resolve the channel at each listener.
+		// Apply fault injection before resolving the channel.
+		if opt.Drop != nil {
+			for v := 0; v < n; v++ {
+				dropped[v] = actions[v].Transmit && opt.Drop(v, round)
+			}
+		}
+		transmitted := 0
+		if workers > 1 {
+			counts := make([]int, workers)
+			parallelRangeIdx(n, workers, func(w, lo, hi int) {
+				for v := lo; v < hi; v++ {
+					counts[w] += resolve(g, v, actions, dropped, nextHeard, nextBusy, res)
+				}
+			})
+			for _, c := range counts {
+				transmitted += c
+			}
+		} else {
+			for v := 0; v < n; v++ {
+				transmitted += resolve(g, v, actions, dropped, nextHeard, nextBusy, res)
+			}
+		}
+
+		// Phase 3: sequential bookkeeping (kept out of the parallel section
+		// so results are bit-identical across engine modes).
+		for v := 0; v < n; v++ {
+			if actions[v].Transmit {
+				res.Transmits[v] = append(res.Transmits[v], round)
+				if b := actions[v].Msg.BitLen(); b > res.MaxMessageBits {
+					res.MaxMessageBits = b
+				}
+			}
+			if nextHeard[v] != nil {
+				res.Receives[v] = append(res.Receives[v], Reception{Round: round, Msg: *nextHeard[v]})
+			}
+		}
+		res.TotalTransmissions += transmitted
+		if opt.Trace != nil {
+			opt.Trace.record(round, actions, nextHeard)
+		}
+
+		heard, nextHeard = nextHeard, heard
+		busy, nextBusy = nextBusy, busy
+		for v := range nextHeard {
+			nextHeard[v] = nil
+			nextBusy[v] = false
+		}
+		res.Rounds = round
+
+		if transmitted == 0 {
+			silent++
+		} else {
+			silent = 0
+		}
+		if opt.Stop != nil && opt.Stop(round) {
+			break
+		}
+		if opt.StopAfterSilent > 0 && silent >= opt.StopAfterSilent {
+			res.SilentStopped = true
+			break
+		}
+	}
+	return res
+}
+
+// resolve computes what node v hears in this round and returns 1 if v
+// transmitted (for the transmission count).
+func resolve(g *graph.Graph, v int, actions []Action, dropped []bool, nextHeard []*Message, nextBusy []bool, res *Result) int {
+	if actions[v].Transmit {
+		// A transmitting node hears nothing this round (and detects no
+		// noise even in the collision-detection variant).
+		nextHeard[v] = nil
+		nextBusy[v] = false
+		return 1
+	}
+	var heardMsg *Message
+	count := 0
+	for _, w := range g.Neighbors(v) {
+		if actions[w].Transmit && !dropped[w] {
+			count++
+			if count > 1 {
+				break
+			}
+			heardMsg = &actions[w].Msg
+		}
+	}
+	nextBusy[v] = count >= 1
+	switch {
+	case count == 1:
+		m := *heardMsg // copy: the action buffer is reused next round
+		nextHeard[v] = &m
+	case count > 1:
+		res.Collisions[v]++ // safe in parallel mode: each v is resolved by one worker
+		nextHeard[v] = nil
+	default:
+		nextHeard[v] = nil
+	}
+	return 0
+}
+
+// parallelRange splits [0, n) into contiguous chunks and runs f on each.
+func parallelRange(n, workers int, f func(lo, hi int)) {
+	parallelRangeIdx(n, workers, func(_, lo, hi int) { f(lo, hi) })
+}
+
+func parallelRangeIdx(n, workers int, f func(worker, lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			f(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,330 @@
+package radio
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"radiobcast/internal/graph"
+)
+
+func dataMsg(payload string) Message {
+	return Message{Kind: KindData, Payload: payload}
+}
+
+// listenAll returns n protocols that never transmit.
+func listenAll(n int) []Protocol {
+	ps := make([]Protocol, n)
+	for i := range ps {
+		ps[i] = &Scripted{}
+	}
+	return ps
+}
+
+func TestSingleTransmitterDelivers(t *testing.T) {
+	// Path 0-1-2. Node 0 transmits in round 1; node 1 must hear it, node 2
+	// must not (not adjacent).
+	g := graph.Path(3)
+	ps := listenAll(3)
+	ps[0] = NewScripted(dataMsg("mu"), 1)
+	res := Run(g, ps, Options{MaxRounds: 3})
+	if got := res.FirstReception(1, KindData); got != 1 {
+		t.Fatalf("node 1 first reception = %d, want 1", got)
+	}
+	if got := res.FirstReception(2, KindData); got != 0 {
+		t.Fatalf("node 2 first reception = %d, want none", got)
+	}
+	if len(res.Receives[1]) != 1 || res.Receives[1][0].Msg.Payload != "mu" {
+		t.Fatalf("node 1 receptions = %+v", res.Receives[1])
+	}
+	if res.TotalTransmissions != 1 {
+		t.Fatalf("TotalTransmissions = %d, want 1", res.TotalTransmissions)
+	}
+}
+
+func TestCollisionSilencesListener(t *testing.T) {
+	// Star with centre 0 and leaves 1,2. Both leaves transmit in round 1:
+	// the centre hears nothing and records a collision.
+	g := graph.Star(3)
+	ps := listenAll(3)
+	ps[1] = NewScripted(dataMsg("a"), 1)
+	ps[2] = NewScripted(dataMsg("b"), 1)
+	res := Run(g, ps, Options{MaxRounds: 2})
+	if len(res.Receives[0]) != 0 {
+		t.Fatalf("centre heard %v despite collision", res.Receives[0])
+	}
+	if res.Collisions[0] != 1 {
+		t.Fatalf("Collisions[0] = %d, want 1", res.Collisions[0])
+	}
+}
+
+func TestTransmitterHearsNothing(t *testing.T) {
+	// Two adjacent nodes transmit simultaneously; neither hears the other.
+	g := graph.Path(2)
+	ps := []Protocol{
+		NewScripted(dataMsg("x"), 1),
+		NewScripted(dataMsg("y"), 1),
+	}
+	res := Run(g, ps, Options{MaxRounds: 2})
+	if len(res.Receives[0]) != 0 || len(res.Receives[1]) != 0 {
+		t.Fatal("transmitting node heard a message")
+	}
+	// and no collision is charged to a transmitter
+	if res.Collisions[0] != 0 || res.Collisions[1] != 0 {
+		t.Fatal("collision charged to transmitter")
+	}
+}
+
+func TestReceivedMessageVisibleNextStep(t *testing.T) {
+	// An echo protocol: retransmit whatever was heard, one round later.
+	g := graph.Path(3)
+	echo := &echoProtocol{}
+	ps := []Protocol{NewScripted(dataMsg("mu"), 1), echo, &Scripted{}}
+	res := Run(g, ps, Options{MaxRounds: 4})
+	// Node 1 hears in round 1, echoes in round 2, node 2 hears in round 2.
+	if got := res.FirstReception(2, KindData); got != 2 {
+		t.Fatalf("node 2 first reception = %d, want 2", got)
+	}
+	if !reflect.DeepEqual(res.Transmits[1], []int{2}) {
+		t.Fatalf("echo transmit rounds = %v, want [2]", res.Transmits[1])
+	}
+}
+
+type echoProtocol struct{}
+
+// Step retransmits in round r whatever was heard in round r−1 (the heard
+// message is handed to the *next* Step call, so echoing it immediately
+// means transmitting exactly one round after reception).
+func (e *echoProtocol) Step(rcv *Message) Action {
+	if rcv != nil {
+		return Send(*rcv)
+	}
+	return Listen
+}
+
+func TestStopAfterSilent(t *testing.T) {
+	g := graph.Path(2)
+	ps := []Protocol{NewScripted(dataMsg("x"), 1), &Scripted{}}
+	res := Run(g, ps, Options{MaxRounds: 100, StopAfterSilent: 3})
+	if !res.SilentStopped {
+		t.Fatal("run did not silent-stop")
+	}
+	if res.Rounds != 4 { // round 1 active, rounds 2-4 silent
+		t.Fatalf("Rounds = %d, want 4", res.Rounds)
+	}
+}
+
+func TestStopCallback(t *testing.T) {
+	g := graph.Path(2)
+	ps := []Protocol{NewScripted(dataMsg("x"), 1, 5, 9), &Scripted{}}
+	res := Run(g, ps, Options{
+		MaxRounds: 100,
+		Stop:      func(round int) bool { return round == 6 },
+	})
+	if res.Rounds != 6 {
+		t.Fatalf("Rounds = %d, want 6", res.Rounds)
+	}
+}
+
+func TestMaxRoundsRequired(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for MaxRounds = 0")
+		}
+	}()
+	Run(graph.Path(2), listenAll(2), Options{})
+}
+
+func TestProtocolCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for protocol count mismatch")
+		}
+	}()
+	Run(graph.Path(3), listenAll(2), Options{MaxRounds: 1})
+}
+
+func TestMessageCopiedNotAliased(t *testing.T) {
+	// The engine must copy delivered messages: the action buffer is reused.
+	g := graph.Path(2)
+	keep := &keepProtocol{}
+	ps := []Protocol{NewScripted(dataMsg("first"), 1), keep}
+	ps[0].(*Scripted).Schedule[2] = dataMsg("second")
+	Run(g, ps, Options{MaxRounds: 3})
+	if len(keep.got) != 2 || keep.got[0].Payload != "first" || keep.got[1].Payload != "second" {
+		t.Fatalf("deliveries corrupted: %+v", keep.got)
+	}
+}
+
+type keepProtocol struct{ got []Message }
+
+func (k *keepProtocol) Step(rcv *Message) Action {
+	if rcv != nil {
+		k.got = append(k.got, *rcv)
+	}
+	return Listen
+}
+
+func TestMetrics(t *testing.T) {
+	g := graph.Star(4)
+	ps := listenAll(4)
+	ps[0] = NewScripted(Message{Kind: KindData, Payload: "abc", TS: 9}, 1, 2)
+	res := Run(g, ps, Options{MaxRounds: 2})
+	if res.TotalTransmissions != 2 {
+		t.Fatalf("TotalTransmissions = %d", res.TotalTransmissions)
+	}
+	if res.MaxTransmissionsPerNode() != 2 {
+		t.Fatalf("MaxTransmissionsPerNode = %d", res.MaxTransmissionsPerNode())
+	}
+	wantBits := 3 + 8*3 + 4 // kind + payload + TS(9 → 4 bits)
+	if res.MaxMessageBits != wantBits {
+		t.Fatalf("MaxMessageBits = %d, want %d", res.MaxMessageBits, wantBits)
+	}
+	if got := res.TransmissionsPerNode(); !reflect.DeepEqual(got, []int{2, 0, 0, 0}) {
+		t.Fatalf("TransmissionsPerNode = %v", got)
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	g := graph.Path(2)
+	tr := &Trace{}
+	ps := []Protocol{NewScripted(dataMsg("mu"), 1), &Scripted{}}
+	Run(g, ps, Options{MaxRounds: 2, Trace: tr})
+	if len(tr.Rounds) != 1 {
+		t.Fatalf("trace rounds = %d, want 1 (silent rounds omitted)", len(tr.Rounds))
+	}
+	r := tr.Rounds[0]
+	if len(r.Transmitters) != 1 || r.Transmitters[0].Node != 0 {
+		t.Fatalf("trace transmitters = %+v", r.Transmitters)
+	}
+	if len(r.Deliveries) != 1 || r.Deliveries[0].Node != 1 {
+		t.Fatalf("trace deliveries = %+v", r.Deliveries)
+	}
+	if tr.String() == "" {
+		t.Fatal("empty trace rendering")
+	}
+}
+
+// randomScripted builds random fixed schedules so the parallel/sequential
+// equivalence test exercises dense collision patterns.
+func randomScripted(r *rand.Rand, n, horizon int) []Protocol {
+	ps := make([]Protocol, n)
+	for v := 0; v < n; v++ {
+		s := &Scripted{Schedule: map[int]Message{}}
+		for round := 1; round <= horizon; round++ {
+			if r.Intn(3) == 0 {
+				s.Schedule[round] = Message{Kind: KindData, Payload: "p", TS: round}
+			}
+		}
+		ps[v] = s
+	}
+	return ps
+}
+
+func resultsEqual(a, b *Result) bool {
+	return a.Rounds == b.Rounds &&
+		a.TotalTransmissions == b.TotalTransmissions &&
+		a.MaxMessageBits == b.MaxMessageBits &&
+		reflect.DeepEqual(a.Transmits, b.Transmits) &&
+		reflect.DeepEqual(a.Receives, b.Receives) &&
+		reflect.DeepEqual(a.Collisions, b.Collisions)
+}
+
+func TestParallelEquivalentToSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		g := graph.GNPConnected(n, 0.2, seed)
+		horizon := 1 + r.Intn(20)
+		seqP := randomScripted(rand.New(rand.NewSource(seed+1)), n, horizon)
+		parP := randomScripted(rand.New(rand.NewSource(seed+1)), n, horizon)
+		seq := Run(g, seqP, Options{MaxRounds: horizon})
+		par := Run(g, parP, Options{MaxRounds: horizon, Workers: 1 + r.Intn(8)})
+		return resultsEqual(seq, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExactlyOneNeighbourRule(t *testing.T) {
+	// Cross-check the engine against a brute-force evaluation of the model:
+	// v hears in round r iff v listens and exactly one neighbour transmits.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		g := graph.GNPConnected(n, 0.3, seed)
+		horizon := 1 + r.Intn(10)
+		ps := randomScripted(rand.New(rand.NewSource(seed+1)), n, horizon)
+		// Extract the schedules before running (Run mutates round counters).
+		sched := make([]map[int]Message, n)
+		for v, p := range ps {
+			sched[v] = p.(*Scripted).Schedule
+		}
+		res := Run(g, ps, Options{MaxRounds: horizon})
+		for v := 0; v < n; v++ {
+			gotRounds := map[int]bool{}
+			for _, rec := range res.Receives[v] {
+				gotRounds[rec.Round] = true
+			}
+			for round := 1; round <= horizon; round++ {
+				_, vTransmits := sched[v][round]
+				count := 0
+				for _, w := range g.Neighbors(v) {
+					if _, ok := sched[w][round]; ok {
+						count++
+					}
+				}
+				wantHear := !vTransmits && count == 1
+				if gotRounds[round] != wantHear {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageBitLen(t *testing.T) {
+	cases := []struct {
+		msg  Message
+		want int
+	}{
+		{Message{Kind: KindStay}, 3},
+		{Message{Kind: KindData, Payload: "ab"}, 3 + 16},
+		{Message{Kind: KindAck, TS: 1}, 3 + 1},
+		{Message{Kind: KindAck, TS: 255}, 3 + 8},
+		{Message{Kind: KindReady, Aux: 7, Phase: 2}, 3 + 3 + 2},
+	}
+	for _, c := range cases {
+		if got := c.msg.BitLen(); got != c.want {
+			t.Errorf("BitLen(%v) = %d, want %d", c.msg, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindData: "data", KindStay: "stay", KindAck: "ack",
+		KindInit: "initialize", KindReady: "ready",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestAnnotationsFormat(t *testing.T) {
+	g := graph.Path(2)
+	ps := []Protocol{NewScripted(dataMsg("mu"), 1), &Scripted{}}
+	res := Run(g, ps, Options{MaxRounds: 1})
+	out := Annotations(res, []string{"10", "00"})
+	if out == "" {
+		t.Fatal("empty annotations")
+	}
+}

@@ -1,0 +1,126 @@
+// Package radio implements the communication model of the paper (§1.1):
+// synchronous rounds over an undirected graph, where a listening node hears
+// a message if and only if exactly one of its neighbours transmits in that
+// round. There is no collision detection: silence and collision are
+// indistinguishable to the listener. The package provides the message
+// format with bit-size accounting, the deterministic per-node Protocol
+// interface, a sequential engine and an equivalent parallel engine, and
+// trace capture used to reproduce the paper's Figure 1.
+package radio
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Kind identifies the role of a message. The paper's algorithms use the
+// source message µ ("data"), a constant-size "stay" message (§2), an "ack"
+// message (§3), and the "initialize"/"ready" coordination messages of the
+// arbitrary-source algorithm (§4).
+type Kind uint8
+
+const (
+	KindData Kind = iota
+	KindStay
+	KindAck
+	KindInit
+	KindReady
+	numKinds
+)
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindStay:
+		return "stay"
+	case KindAck:
+		return "ack"
+	case KindInit:
+		return "initialize"
+	case KindReady:
+		return "ready"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Message is a transmitted frame. Payload carries the source message µ
+// where applicable. TS is the round-number timestamp appended by the
+// acknowledged algorithms (Lemma 3.5); Aux carries the T value of the
+// arbitrary-source algorithm; Phase tags Barb's three phases. Unused fields
+// are zero and contribute nothing to BitLen.
+type Message struct {
+	Kind    Kind
+	Payload string
+	TS      int
+	Aux     int
+	Phase   uint8
+}
+
+// BitLen returns the size of the message in bits, charging 3 bits for the
+// kind, 8 bits per payload byte, the binary length of each non-zero
+// integer field, and 2 bits for a non-zero phase tag. This implements the
+// paper's message-size accounting: algorithm B transmits O(1)+|µ| bits,
+// while Back adds an O(log n) timestamp.
+func (m *Message) BitLen() int {
+	n := 3 + 8*len(m.Payload)
+	if m.TS > 0 {
+		n += bits.Len(uint(m.TS))
+	}
+	if m.Aux > 0 {
+		n += bits.Len(uint(m.Aux))
+	}
+	if m.Phase > 0 {
+		n += 2
+	}
+	return n
+}
+
+// String renders the message in the paper's notation, e.g. (µ, 5).
+func (m *Message) String() string {
+	body := m.Kind.String()
+	if m.Kind == KindData && m.Payload != "" {
+		body = fmt.Sprintf("%q", m.Payload)
+	}
+	if m.TS > 0 {
+		return fmt.Sprintf("(%s, %d)", body, m.TS)
+	}
+	return fmt.Sprintf("(%s)", body)
+}
+
+// Action is a node's decision for one round: transmit Msg, or listen.
+type Action struct {
+	Transmit bool
+	Msg      Message
+}
+
+// Listen is the no-transmission action.
+var Listen = Action{}
+
+// Send returns a transmit action for msg.
+func Send(msg Message) Action { return Action{Transmit: true, Msg: msg} }
+
+// Protocol is the deterministic state machine run at each node. Step is
+// called exactly once per round r = 1, 2, ...; received is the message the
+// node heard in round r−1, or nil for round 1, for silence, for collision,
+// or if the node itself transmitted in round r−1 (all indistinguishable in
+// the model). The returned action applies to round r. Implementations must
+// base decisions only on their label and message history — never on the
+// topology — to qualify as universal algorithms in the paper's sense.
+type Protocol interface {
+	Step(received *Message) Action
+}
+
+// NoiseProtocol is the collision-detection variant of the model (§1.1 of
+// the paper: "If collision detection is available, broadcast is trivially
+// feasible, even in anonymous networks"). A protocol implementing this
+// interface receives, in addition to the delivered message (nil on silence
+// or collision, as usual), a busy flag that is true iff at least one
+// neighbour transmitted in the previous round — i.e. the node can
+// distinguish silence from noise. The engine uses StepNoise instead of
+// Step for such protocols.
+type NoiseProtocol interface {
+	StepNoise(received *Message, busy bool) Action
+}

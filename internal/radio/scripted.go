@@ -1,0 +1,30 @@
+package radio
+
+// Scripted is a Protocol that transmits a fixed message at a fixed set of
+// rounds, regardless of what it hears. It backs the centralized-schedule
+// baseline (where a controller with full topology knowledge precomputes
+// collision-free schedules) and the engine tests.
+type Scripted struct {
+	// Schedule maps round numbers to the message transmitted in that round.
+	Schedule map[int]Message
+
+	round int
+}
+
+// NewScripted returns a protocol transmitting msg at each of the given rounds.
+func NewScripted(msg Message, rounds ...int) *Scripted {
+	s := &Scripted{Schedule: make(map[int]Message, len(rounds))}
+	for _, r := range rounds {
+		s.Schedule[r] = msg
+	}
+	return s
+}
+
+// Step implements Protocol.
+func (s *Scripted) Step(*Message) Action {
+	s.round++
+	if msg, ok := s.Schedule[s.round]; ok {
+		return Send(msg)
+	}
+	return Listen
+}

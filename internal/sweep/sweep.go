@@ -1,0 +1,88 @@
+// Package sweep provides the parallel fan-out machinery for the experiment
+// harness: deterministic worker-pool maps over parameter grids. Results are
+// returned in input order regardless of scheduling, so experiment tables
+// are reproducible run to run.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map applies f to every item using the given number of workers
+// (0 or negative → GOMAXPROCS) and returns results in input order.
+func Map[T, R any](items []T, workers int, f func(T) R) []R {
+	n := len(items)
+	out := make([]R, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i, it := range items {
+			out[i] = f(it)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = f(items[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// MapErr is Map for fallible work: it returns the first error by input
+// order (all items are still processed).
+func MapErr[T, R any](items []T, workers int, f func(T) (R, error)) ([]R, error) {
+	type res struct {
+		r   R
+		err error
+	}
+	rs := Map(items, workers, func(t T) res {
+		r, err := f(t)
+		return res{r, err}
+	})
+	out := make([]R, len(items))
+	var firstErr error
+	for i, r := range rs {
+		out[i] = r.r
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	return out, firstErr
+}
+
+// Grid returns the cross product of two parameter slices as pairs.
+func Grid[A, B any](as []A, bs []B) []Pair[A, B] {
+	out := make([]Pair[A, B], 0, len(as)*len(bs))
+	for _, a := range as {
+		for _, b := range bs {
+			out = append(out, Pair[A, B]{a, b})
+		}
+	}
+	return out
+}
+
+// Pair is a two-element tuple for Grid.
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}

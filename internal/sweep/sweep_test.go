@@ -1,0 +1,108 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	got := Map(items, 8, func(x int) int { return x * x })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got := Map(nil, 4, func(x int) int { return x })
+	if len(got) != 0 {
+		t.Fatal("non-empty result for empty input")
+	}
+}
+
+func TestMapSingleWorkerSequential(t *testing.T) {
+	var order []int
+	Map([]int{1, 2, 3}, 1, func(x int) int {
+		order = append(order, x)
+		return x
+	})
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("sequential order violated: %v", order)
+		}
+	}
+}
+
+func TestMapAllItemsProcessedOnce(t *testing.T) {
+	var count int64
+	n := 1000
+	items := make([]int, n)
+	Map(items, 16, func(int) int {
+		atomic.AddInt64(&count, 1)
+		return 0
+	})
+	if count != int64(n) {
+		t.Fatalf("processed %d items, want %d", count, n)
+	}
+}
+
+func TestMapErrFirstByInputOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := MapErr([]int{0, 1, 2, 3}, 4, func(x int) (int, error) {
+		switch x {
+		case 1:
+			return 0, errA
+		case 3:
+			return 0, errB
+		}
+		return x, nil
+	})
+	if err != errA {
+		t.Fatalf("err = %v, want first-by-order %v", err, errA)
+	}
+}
+
+func TestMapErrSuccess(t *testing.T) {
+	out, err := MapErr([]int{1, 2}, 2, func(x int) (int, error) { return x + 1, nil })
+	if err != nil || out[0] != 2 || out[1] != 3 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid([]string{"a", "b"}, []int{1, 2, 3})
+	if len(g) != 6 {
+		t.Fatalf("len = %d, want 6", len(g))
+	}
+	if g[0].First != "a" || g[0].Second != 1 || g[5].First != "b" || g[5].Second != 3 {
+		t.Fatalf("grid = %v", g)
+	}
+}
+
+func TestQuickMapMatchesSequential(t *testing.T) {
+	f := func(xs []int, workers uint8) bool {
+		w := int(workers%8) + 1
+		par := Map(xs, w, func(x int) int { return x*3 + 1 })
+		seq := Map(xs, 1, func(x int) int { return x*3 + 1 })
+		if len(par) != len(seq) {
+			return false
+		}
+		for i := range par {
+			if par[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
