@@ -2,14 +2,18 @@
 // paper's artifacts can be regenerated and timed with
 //
 //	go test -bench=. -benchmem
+//
+// Broadcast-level benchmarks go through the public radiobcast facade; the
+// benchmarks of internal machinery (stage construction, dominating-set
+// pruning, the experiment registry) keep their internal imports on purpose.
 package radiobcast_test
 
 import (
 	"fmt"
 	"testing"
 
+	"radiobcast"
 	"radiobcast/internal/anonymity"
-	"radiobcast/internal/baseline"
 	"radiobcast/internal/cdetect"
 	"radiobcast/internal/core"
 	"radiobcast/internal/domset"
@@ -17,7 +21,6 @@ import (
 	"radiobcast/internal/graph"
 	"radiobcast/internal/nodeset"
 	"radiobcast/internal/onebit"
-	"radiobcast/internal/radio"
 )
 
 // benchFamilies is the family subset used for scaling benchmarks (the full
@@ -27,16 +30,20 @@ var benchFamilies = []string{"path", "grid", "gnp-sparse", "complete"}
 
 var benchSizes = []int{64, 256, 1024}
 
-func benchGraph(family string, n int) *graph.Graph {
-	return graph.Families[family](n)
+func benchNet(b *testing.B, family string, n int) *radiobcast.Network {
+	b.Helper()
+	net, err := radiobcast.Family(family, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
 }
 
 // BenchmarkFig1 regenerates the paper's Figure 1 (experiment FIG1).
 func BenchmarkFig1(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		g := graph.Figure1()
-		out, err := core.RunBroadcast(g, graph.Figure1Source, "µ", core.BuildOptions{})
+		out, err := radiobcast.Run(radiobcast.Figure1(), "b", radiobcast.WithMessage("µ"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,15 +54,15 @@ func BenchmarkFig1(b *testing.B) {
 }
 
 // BenchmarkLabeling measures λ construction (stages + labels; experiments
-// L26/F31).
+// L26/F31) through the facade's labeling step.
 func BenchmarkLabeling(b *testing.B) {
 	for _, fam := range benchFamilies {
 		for _, n := range benchSizes {
-			g := benchGraph(fam, n)
+			net := benchNet(b, fam, n)
 			b.Run(fmt.Sprintf("%s/n=%d", fam, n), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := core.Lambda(g, 0, core.BuildOptions{}); err != nil {
+					if _, err := radiobcast.LabelNetwork(net, "b"); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -67,7 +74,7 @@ func BenchmarkLabeling(b *testing.B) {
 // BenchmarkStages isolates the §2.1 sequence construction (experiment L26).
 func BenchmarkStages(b *testing.B) {
 	for _, n := range benchSizes {
-		g := benchGraph("gnp-sparse", n)
+		g := benchNet(b, "gnp-sparse", n).Graph
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -83,7 +90,7 @@ func BenchmarkStages(b *testing.B) {
 // (experiment ABLDOM).
 func BenchmarkMinimalDomset(b *testing.B) {
 	for _, n := range benchSizes {
-		g := benchGraph("gnp-sparse", n)
+		g := benchNet(b, "gnp-sparse", n).Graph
 		// Candidates: BFS layer 1; targets: layer 2.
 		layers := g.Layers(0)
 		if len(layers) < 3 {
@@ -102,59 +109,56 @@ func BenchmarkMinimalDomset(b *testing.B) {
 	}
 }
 
-// BenchmarkBroadcastB runs the full labeled broadcast (experiment T29).
-func BenchmarkBroadcastB(b *testing.B) {
+// benchRunLabeled labels once and times repeated facade runs over that
+// labeling; check validates each outcome beyond AllInformed (may be nil).
+func benchRunLabeled(b *testing.B, scheme string, sizes []int, check func(*radiobcast.Outcome) error, opts ...radiobcast.Option) {
 	for _, fam := range benchFamilies {
-		for _, n := range benchSizes {
-			g := benchGraph(fam, n)
-			l, err := core.Lambda(g, 0, core.BuildOptions{})
+		for _, n := range sizes {
+			net := benchNet(b, fam, n)
+			l, err := radiobcast.LabelNetwork(net, scheme)
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.Run(fmt.Sprintf("%s/n=%d", fam, n), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					out, err := core.RunBroadcastLabeled(g, l, 0, "m", nil)
+					out, err := radiobcast.RunLabeled(l, opts...)
 					if err != nil {
 						b.Fatal(err)
 					}
 					if !out.AllInformed {
 						b.Fatal("incomplete broadcast")
 					}
+					if check != nil {
+						if err := check(out); err != nil {
+							b.Fatal(err)
+						}
+					}
 				}
 			})
 		}
 	}
+}
+
+// BenchmarkBroadcastB runs the full labeled broadcast (experiment T29).
+func BenchmarkBroadcastB(b *testing.B) {
+	benchRunLabeled(b, "b", benchSizes, nil, radiobcast.WithMessage("m"))
 }
 
 // BenchmarkBroadcastBack runs acknowledged broadcast (experiments T39/MSG).
 func BenchmarkBroadcastBack(b *testing.B) {
-	for _, fam := range benchFamilies {
-		for _, n := range benchSizes {
-			g := benchGraph(fam, n)
-			l, err := core.LambdaAck(g, 0, core.BuildOptions{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.Run(fmt.Sprintf("%s/n=%d", fam, n), func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					out, err := core.RunAcknowledgedLabeled(g, l, 0, "m")
-					if err != nil {
-						b.Fatal(err)
-					}
-					if g.N() >= 2 && out.AckRound == 0 {
-						b.Fatal("no ack")
-					}
-				}
-			})
+	benchRunLabeled(b, "back", benchSizes, func(out *radiobcast.Outcome) error {
+		if out.Graph.N() >= 2 && out.AckRound == 0 {
+			return fmt.Errorf("no ack")
 		}
-	}
+		return nil
+	}, radiobcast.WithMessage("m"))
 }
 
-// BenchmarkCommonRound runs the Back→B composition (experiment CR).
+// BenchmarkCommonRound runs the Back→B composition (experiment CR); the
+// composition is not a registered scheme, so it stays on the internal path.
 func BenchmarkCommonRound(b *testing.B) {
-	g := benchGraph("grid", 256)
+	g := benchNet(b, "grid", 256).Graph
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out, err := core.RunCommonRound(g, 0, "m", core.BuildOptions{})
@@ -167,24 +171,26 @@ func BenchmarkCommonRound(b *testing.B) {
 	}
 }
 
-// BenchmarkBroadcastBarb runs the arbitrary-source algorithm (experiment ARB).
+// BenchmarkBroadcastBarb runs the arbitrary-source algorithm (experiment
+// ARB): one λarb labeling, broadcasts originating at the far corner.
 func BenchmarkBroadcastBarb(b *testing.B) {
 	for _, fam := range benchFamilies {
 		for _, n := range []int{64, 256} {
-			g := benchGraph(fam, n)
-			l, err := core.LambdaArb(g, 0, core.BuildOptions{})
+			net := benchNet(b, fam, n)
+			l, err := radiobcast.LabelNetwork(net, "barb")
 			if err != nil {
 				b.Fatal(err)
 			}
-			src := g.N() - 1
+			src := net.Graph.N() - 1
 			b.Run(fmt.Sprintf("%s/n=%d", fam, n), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					out, err := core.RunArbitraryLabeled(g, l, src, "m")
+					out, err := radiobcast.RunLabeled(l,
+						radiobcast.WithSource(src), radiobcast.WithMessage("m"))
 					if err != nil {
 						b.Fatal(err)
 					}
-					if !out.AllKnowMu {
+					if !out.AllInformed {
 						b.Fatal("incomplete")
 					}
 				}
@@ -195,38 +201,28 @@ func BenchmarkBroadcastBarb(b *testing.B) {
 
 // BenchmarkBaselines compares the comparison schemes (experiment BASE).
 func BenchmarkBaselines(b *testing.B) {
-	g := benchGraph("grid", 256)
-	b.Run("roundrobin", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := baseline.RunRoundRobin(g, 0, "m"); err != nil {
-				b.Fatal(err)
+	net := benchNet(b, "grid", 256)
+	for _, scheme := range []string{"roundrobin", "colorrobin", "centralized"} {
+		b.Run(scheme, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := radiobcast.Run(net, scheme, radiobcast.WithMessage("m"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !out.AllInformed {
+					b.Fatal("incomplete")
+				}
 			}
-		}
-	})
-	b.Run("colorrobin", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := baseline.RunColorRobin(g, 0, "m"); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("centralized", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := baseline.RunCentralized(g, 0, "m"); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+		})
+	}
 }
 
 // BenchmarkCollisionDetection runs the anonymous beep-pipeline broadcast
 // (experiment CD).
 func BenchmarkCollisionDetection(b *testing.B) {
 	for _, n := range []int{64, 256} {
-		g := benchGraph("grid", n)
+		g := benchNet(b, "grid", n).Graph
 		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -253,7 +249,9 @@ func BenchmarkFourCycle(b *testing.B) {
 	}
 }
 
-// BenchmarkOneBit verifies the §5 grid construction (experiment ONEBIT).
+// BenchmarkOneBit verifies the §5 grid construction (experiment ONEBIT);
+// the constructive grid labeling is internal (the facade's onebit scheme
+// searches instead).
 func BenchmarkOneBit(b *testing.B) {
 	for _, size := range []int{8, 16, 32} {
 		b.Run(fmt.Sprintf("grid%dx%d", size, size), func(b *testing.B) {
@@ -268,10 +266,10 @@ func BenchmarkOneBit(b *testing.B) {
 }
 
 // BenchmarkEngineParallel compares sequential and parallel engine modes on
-// a dense graph (experiment PAR).
+// a dense graph (experiment PAR), through the facade's WithWorkers option.
 func BenchmarkEngineParallel(b *testing.B) {
-	g := graph.GNPConnected(2000, 8.0/2000, 42)
-	l, err := core.Lambda(g, 0, core.BuildOptions{})
+	net := radiobcast.NewNetwork(graph.GNPConnected(2000, 8.0/2000, 42))
+	l, err := radiobcast.LabelNetwork(net, "b")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -279,13 +277,12 @@ func BenchmarkEngineParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				ps := core.NewBProtocols(l.Labels, 0, "m")
-				res := radio.Run(g, ps, radio.Options{
-					MaxRounds:       2*g.N() + 4,
-					StopAfterSilent: 3,
-					Workers:         workers,
-				})
-				if res.TotalTransmissions == 0 {
+				out, err := radiobcast.RunLabeled(l,
+					radiobcast.WithMessage("m"), radiobcast.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Result.TotalTransmissions == 0 {
 					b.Fatal("no traffic")
 				}
 			}

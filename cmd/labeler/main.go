@@ -1,14 +1,14 @@
 // Command labeler computes a labeling scheme for a graph and prints the
 // labels, optionally with the stage decomposition or a Graphviz DOT export.
 // This is the "central monitor" role from the paper's motivating scenario:
-// an entity that knows the topology and assigns 2-3 bit labels enabling
-// universal broadcast.
+// an entity that knows the topology and assigns short labels enabling
+// universal broadcast. Any registered scheme works (-schemes lists them).
 //
 // Usage:
 //
-//	labeler -family grid -n 25 -scheme lambda -stages
-//	labeler -family figure1 -scheme ack -dot out.dot
-//	labeler -graph edges.txt -scheme arb -r 0
+//	labeler -family grid -n 25 -scheme b -stages
+//	labeler -family figure1 -scheme back -dot out.dot
+//	labeler -graph edges.txt -scheme barb -r 0
 package main
 
 import (
@@ -16,45 +16,60 @@ import (
 	"fmt"
 	"os"
 
-	"radiobcast/internal/core"
+	"radiobcast"
 	"radiobcast/internal/graph"
 )
 
 func main() {
 	var (
-		family = flag.String("family", "figure1", "graph family or \"figure1\"")
-		n      = flag.Int("n", 16, "target graph size")
-		file   = flag.String("graph", "", "read graph from edge-list file")
-		scheme = flag.String("scheme", "lambda", "lambda | ack | arb")
-		source = flag.Int("source", 0, "designated source (lambda, ack)")
-		r      = flag.Int("r", 0, "coordinator for arb")
-		stages = flag.Bool("stages", false, "print the stage decomposition")
-		dot    = flag.String("dot", "", "write Graphviz DOT to file")
+		family   = flag.String("family", "figure1", "graph family (see -families)")
+		n        = flag.Int("n", 16, "target graph size")
+		file     = flag.String("graph", "", "read graph from edge-list file")
+		scheme   = flag.String("scheme", "b", "registered scheme name (see -schemes)")
+		source   = flag.Int("source", -1, "designated source (default: the network's)")
+		r        = flag.Int("r", 0, "coordinator for barb")
+		stages   = flag.Bool("stages", false, "print the stage decomposition")
+		dot      = flag.String("dot", "", "write Graphviz DOT to file")
+		listSchm = flag.Bool("schemes", false, "list registered schemes and exit")
+		listFam  = flag.Bool("families", false, "list graph families and exit")
 	)
 	flag.Parse()
 
-	g, err := buildGraph(*family, *n, *file)
+	if *listSchm {
+		fmt.Print(radiobcast.DescribeSchemes())
+		return
+	}
+	if *listFam {
+		for _, name := range radiobcast.FamilyNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	net, err := radiobcast.FamilyOrFile(*family, *n, *file)
+	if err != nil {
+		fail(err)
+	}
+	net.Coordinated(*r)
+	if *source >= 0 {
+		net.At(*source)
+	}
+
+	l, err := radiobcast.LabelNetwork(net, *scheme)
 	if err != nil {
 		fail(err)
 	}
 
-	var l *core.Labeling
-	switch *scheme {
-	case "lambda":
-		l, err = core.Lambda(g, *source, core.BuildOptions{})
-	case "ack":
-		l, err = core.LambdaAck(g, *source, core.BuildOptions{})
-	case "arb":
-		l, err = core.LambdaArb(g, *r, core.BuildOptions{})
-	default:
-		err = fmt.Errorf("unknown scheme %q", *scheme)
+	if l.Labels == nil {
+		fmt.Printf("network: %v; scheme %s assigns no labels (schedule of %d rounds)\n",
+			net, *scheme, len(l.Schedule))
+		if *stages || *dot != "" {
+			fail(fmt.Errorf("-stages and -dot need a labeling scheme, %s has none", *scheme))
+		}
+		return
 	}
-	if err != nil {
-		fail(err)
-	}
-
-	fmt.Printf("graph: %v; scheme %s: length %d bits, %d distinct labels\n",
-		g, *scheme, core.MaxLen(l.Labels), core.Distinct(l.Labels))
+	fmt.Printf("network: %v; scheme %s: length %d bits, %d distinct labels\n",
+		net, *scheme, l.Bits(), l.Distinct())
 	for v, lab := range l.Labels {
 		marks := ""
 		if v == l.Z {
@@ -67,6 +82,9 @@ func main() {
 	}
 
 	if *stages {
+		if l.Stages == nil {
+			fail(fmt.Errorf("scheme %s has no stage decomposition", *scheme))
+		}
 		fmt.Printf("\nstage decomposition (ℓ = %d):\n", l.Stages.L)
 		for i := 1; i <= l.Stages.NumStored(); i++ {
 			s := l.Stages.Stage(i)
@@ -80,30 +98,11 @@ func main() {
 			fail(err)
 		}
 		defer f.Close()
-		if err := graph.WriteDOT(f, g, core.Strings(l.Labels)); err != nil {
+		if err := graph.WriteDOT(f, net.Graph, l.Strings()); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *dot)
 	}
-}
-
-func buildGraph(family string, n int, file string) (*graph.Graph, error) {
-	if file != "" {
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.ReadEdgeList(f)
-	}
-	if family == "figure1" {
-		return graph.Figure1(), nil
-	}
-	build, ok := graph.Families[family]
-	if !ok {
-		return nil, fmt.Errorf("unknown family %q", family)
-	}
-	return build(n), nil
 }
 
 func fail(err error) {

@@ -1,15 +1,15 @@
-// Command radiosim runs one broadcast scenario and prints the outcome, with
-// an optional round-by-round trace in the paper's Figure 1 annotation style.
+// Command radiosim runs one broadcast scenario through the radiobcast
+// facade and prints the outcome, with an optional round-by-round trace in
+// the paper's Figure 1 annotation style. Scheme selection is registry
+// driven: -scheme accepts the name of any registered scheme (-schemes
+// lists them), so new algorithms appear here without touching this file.
 //
 // Usage:
 //
-//	radiosim -family grid -n 16 -algo b -source 0 [-trace] [-mu text]
-//	radiosim -family figure1 -algo back -trace
-//	radiosim -graph edges.txt -algo barb -source 3 -r 0
-//
-// Algorithms: b (2-bit λ), back (3-bit λack, acknowledged),
-// barb (3-bit λarb, arbitrary source with coordinator -r),
-// roundrobin, colorrobin, centralized (baselines).
+//	radiosim -family grid -n 16 -scheme b -source 0 [-trace] [-mu text]
+//	radiosim -family figure1 -scheme back -trace
+//	radiosim -graph edges.txt -scheme barb -source 3 -r 0
+//	radiosim -scheme onebit -family path -n 12 -quick
 package main
 
 import (
@@ -17,144 +17,114 @@ import (
 	"fmt"
 	"os"
 
-	"radiobcast/internal/baseline"
-	"radiobcast/internal/core"
-	"radiobcast/internal/graph"
-	"radiobcast/internal/radio"
+	"radiobcast"
 )
 
 func main() {
 	var (
-		family  = flag.String("family", "figure1", "graph family (see -families) or \"figure1\"")
-		n       = flag.Int("n", 16, "target graph size")
-		file    = flag.String("graph", "", "read graph from edge-list file instead of -family")
-		algo    = flag.String("algo", "b", "b | back | barb | roundrobin | colorrobin | centralized")
-		source  = flag.Int("source", 0, "source node")
-		r       = flag.Int("r", 0, "coordinator node for barb")
-		mu      = flag.String("mu", "hello", "source message µ")
-		trace   = flag.Bool("trace", false, "print the round-by-round trace")
-		listFam = flag.Bool("families", false, "list graph families and exit")
+		family   = flag.String("family", "figure1", "graph family (see -families)")
+		n        = flag.Int("n", 16, "target graph size")
+		file     = flag.String("graph", "", "read graph from edge-list file instead of -family")
+		scheme   = flag.String("scheme", "b", "registered scheme name (see -schemes)")
+		source   = flag.Int("source", -1, "source node (default: the network's)")
+		r        = flag.Int("r", 0, "coordinator node for barb")
+		mu       = flag.String("mu", "hello", "source message µ")
+		workers  = flag.Int("workers", 0, "engine parallelism (0 = sequential, -1 = GOMAXPROCS)")
+		trace    = flag.Bool("trace", false, "print the round-by-round trace")
+		quick    = flag.Bool("quick", false, "reduce labeling-search effort")
+		listFam  = flag.Bool("families", false, "list graph families and exit")
+		listSchm = flag.Bool("schemes", false, "list registered schemes and exit")
 	)
 	flag.Parse()
 
 	if *listFam {
-		for _, name := range graph.FamilyNames() {
+		for _, name := range radiobcast.FamilyNames() {
 			fmt.Println(name)
 		}
 		return
 	}
+	if *listSchm {
+		fmt.Print(radiobcast.DescribeSchemes())
+		return
+	}
 
-	g, err := buildGraph(*family, *n, *file)
+	net, err := radiobcast.FamilyOrFile(*family, *n, *file)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("graph: %v, source %d, algorithm %s\n", g, *source, *algo)
+	net.Coordinated(*r)
+	if *source >= 0 {
+		net.At(*source)
+	}
 
-	switch *algo {
-	case "b":
-		l, err := core.Lambda(g, *source, core.BuildOptions{})
-		if err != nil {
-			fail(err)
-		}
-		var tr *radio.Trace
-		if *trace {
-			tr = &radio.Trace{}
-		}
-		out, err := core.RunBroadcastLabeled(g, l, *source, *mu, tr)
-		if err != nil {
-			fail(err)
-		}
-		if err := core.VerifyBroadcast(out, *mu); err != nil {
-			fail(err)
-		}
-		fmt.Printf("λ labels (2 bits, %d distinct), ℓ = %d stages\n",
-			core.Distinct(l.Labels), l.Stages.L)
-		fmt.Printf("broadcast complete in round %d (bound 2n−3 = %d)\n",
-			out.CompletionRound, 2*g.N()-3)
-		if *trace {
-			fmt.Print(tr.String())
-			fmt.Println("per-node annotations (label, {transmit rounds}, (receive rounds)):")
-			fmt.Print(radio.Annotations(out.Result, core.Strings(l.Labels)))
-		}
+	s, ok := radiobcast.Lookup(*scheme)
+	if !ok {
+		fail(fmt.Errorf("unknown scheme %q (use -schemes)", *scheme))
+	}
+	fmt.Printf("network: %v, source %d, scheme %s: %s\n", net, net.Source, s.Name(), s.Describe())
 
-	case "back":
-		out, err := core.RunAcknowledged(g, *source, *mu, core.BuildOptions{})
-		if err != nil {
-			fail(err)
-		}
-		if err := core.VerifyAcknowledged(out, *mu); err != nil {
-			fail(err)
-		}
-		fmt.Printf("λack labels (3 bits, %d distinct), z = %d\n",
-			core.Distinct(out.Labels), out.Z)
-		fmt.Printf("broadcast complete in round %d; source acknowledged in round %d\n",
-			out.CompletionRound, out.AckRound)
+	opts := []radiobcast.Option{
+		radiobcast.WithMessage(*mu),
+		radiobcast.WithWorkers(*workers),
+	}
+	if *quick {
+		opts = append(opts, radiobcast.WithQuick())
+	}
+	var tr *radiobcast.Trace
+	if *trace {
+		tr = &radiobcast.Trace{}
+		opts = append(opts, radiobcast.WithTrace(tr))
+	}
 
-	case "barb":
-		out, err := core.RunArbitrary(g, *r, *source, *mu, core.BuildOptions{})
-		if err != nil {
-			fail(err)
-		}
-		if err := core.VerifyArbitrary(g, out, *mu); err != nil {
-			fail(err)
-		}
-		fmt.Printf("λarb labels (3 bits, %d distinct), coordinator r = %d, T = %d\n",
-			core.Distinct(out.Labels), out.R, out.T)
-		fmt.Printf("all nodes know µ and completion by round %d (total %d rounds)\n",
-			out.KnowsCompleteRound[0], out.TotalRounds)
+	out, err := radiobcast.Run(net, *scheme, opts...)
+	if err != nil {
+		fail(err)
+	}
+	report(out)
 
-	case "roundrobin":
-		out, err := baseline.RunRoundRobin(g, *source, *mu)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("round robin: %d-bit labels, complete in round %d\n",
-			out.LabelBits, out.CompletionRound)
+	if err := radiobcast.Verify(out); err != nil {
+		fail(err)
+	}
+	fmt.Println("verified: the scheme's guarantees hold on this run")
 
-	case "colorrobin":
-		out, err := baseline.RunColorRobin(g, *source, *mu)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("colour robin: %d-bit labels, complete in round %d\n",
-			out.LabelBits, out.CompletionRound)
-
-	case "centralized":
-		out, err := baseline.RunCentralized(g, *source, *mu)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("centralized schedule: complete in round %d\n", out.CompletionRound)
-
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	if *trace {
+		fmt.Print(tr.String())
+		fmt.Println("per-node annotations (label, {transmit rounds}, (receive rounds)):")
+		fmt.Print(radiobcast.Annotate(out))
 	}
 }
 
-func buildGraph(family string, n int, file string) (*graph.Graph, error) {
-	if file != "" {
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		g, err := graph.ReadEdgeList(f)
-		if err != nil {
-			return nil, err
-		}
-		if !g.IsConnected() {
-			return nil, fmt.Errorf("graph in %s is not connected", file)
-		}
-		return g, nil
+// report prints the unified outcome: the common block for every scheme,
+// then whatever scheme-specific fields are populated.
+func report(out *radiobcast.Outcome) {
+	l := out.Labeling
+	switch {
+	case l.Schedule != nil:
+		fmt.Printf("no labels: centralized schedule of %d rounds\n", len(l.Schedule))
+	case l.Labels != nil:
+		fmt.Printf("labels: %d-bit, %d distinct\n", l.Bits(), l.Distinct())
 	}
-	if family == "figure1" {
-		return graph.Figure1(), nil
+	if l.Z >= 0 {
+		fmt.Printf("acknowledgement initiator z = node %d\n", l.Z)
 	}
-	build, ok := graph.Families[family]
-	if !ok {
-		return nil, fmt.Errorf("unknown family %q (use -families)", family)
+	if l.R >= 0 {
+		fmt.Printf("coordinator r = node %d\n", l.R)
 	}
-	return build(n), nil
+	fmt.Printf("broadcast complete: %v, completion round %d", out.AllInformed, out.CompletionRound)
+	if out.Scheme == "b" || out.Scheme == "back" {
+		// Theorem 2.9 / 3.9: completion within 2n−3 rounds.
+		fmt.Printf(" (bound 2n−3 = %d)", 2*out.Graph.N()-3)
+	}
+	fmt.Println()
+	if out.AckRound > 0 {
+		fmt.Printf("source acknowledged in round %d\n", out.AckRound)
+	}
+	if out.KnowsCompleteRound != nil {
+		fmt.Printf("all nodes know completion by round %d (total %d rounds, T = %d)\n",
+			out.KnowsCompleteRound[0], out.TotalRounds, out.T)
+	}
+	fmt.Printf("traffic: %d transmissions, max message %d bits\n",
+		out.Result.TotalTransmissions, out.Result.MaxMessageBits)
 }
 
 func fail(err error) {

@@ -4,8 +4,23 @@
 //	"Constant-Length Labeling Schemes for Deterministic Radio Broadcast."
 //	SPAA 2019 (arXiv:1710.03178).
 //
-// The library lives under internal/ (see README.md for the architecture and
-// DESIGN.md for the system inventory):
+// The root package is the public facade (see README.md for a full guide
+// and DESIGN.md for the system inventory): every algorithm in the
+// repository — the paper's λ/λack/λarb schemes, the verified one-bit
+// schemes of §5, and the four comparison baselines — implements the one
+// Scheme interface (label a graph, emit per-node protocols, run, verify)
+// and registers itself by name. A full run is one call:
+//
+//	net, _ := radiobcast.Family("grid", 64)
+//	out, _ := radiobcast.Run(net, "barb", radiobcast.WithWorkers(-1))
+//	err := radiobcast.Verify(out)
+//
+// Label once and broadcast many times with LabelNetwork + RunLabeled;
+// tune runs with functional options (WithWorkers, WithMaxRounds,
+// WithTrace, WithFaults, WithQuick, WithSource, …); enumerate algorithms
+// with Schemes and plug in new ones with Register.
+//
+// The machinery lives under internal/:
 //
 //   - internal/graph, internal/nodeset: the network substrate;
 //   - internal/radio: the synchronous radio model of §1.1 with sequential

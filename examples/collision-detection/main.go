@@ -10,9 +10,9 @@ import (
 	"fmt"
 	"log"
 
+	"radiobcast"
 	"radiobcast/internal/anonymity"
 	"radiobcast/internal/cdetect"
-	"radiobcast/internal/graph"
 )
 
 func main() {
@@ -31,7 +31,11 @@ func main() {
 
 	fmt.Println("\nPart 2 — WITH collision detection (anonymous beep pipeline)")
 	mu := "around the ring"
-	g := graph.Cycle(4)
+	ring, err := radiobcast.Family("cycle", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ring.Graph
 	out, err := cdetect.Run(g, 0, mu)
 	if err != nil {
 		log.Fatal(err)
@@ -45,7 +49,11 @@ func main() {
 	fmt.Println("  reads as \"noise\" = 1, so simultaneous relays are constructive.")
 
 	fmt.Println("\nPart 3 — the same pipeline on a larger network")
-	big := graph.Grid(8, 8)
+	bigNet, err := radiobcast.Family("grid", 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	big := bigNet.Graph
 	out2, err := cdetect.Run(big, 0, mu)
 	if err != nil {
 		log.Fatal(err)

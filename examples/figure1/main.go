@@ -9,24 +9,18 @@ import (
 	"fmt"
 	"log"
 
-	"radiobcast/internal/core"
+	"radiobcast"
 	"radiobcast/internal/graph"
-	"radiobcast/internal/radio"
 )
 
 func main() {
-	g := graph.Figure1()
-	labeling, err := core.Lambda(g, graph.Figure1Source, core.BuildOptions{})
+	trace := &radiobcast.Trace{}
+	out, err := radiobcast.Run(radiobcast.Figure1(), "b",
+		radiobcast.WithMessage("µ"), radiobcast.WithTrace(trace))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	trace := &radio.Trace{}
-	out, err := core.RunBroadcastLabeled(g, labeling, graph.Figure1Source, "µ", trace)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := core.VerifyBroadcast(out, "µ"); err != nil {
+	if err := radiobcast.Verify(out); err != nil {
 		log.Fatal(err)
 	}
 
@@ -36,10 +30,10 @@ func main() {
 	fmt.Print(trace.String())
 	fmt.Println()
 	fmt.Println("per-node annotations in the figure's format:")
-	fmt.Print(radio.Annotations(out.Result, core.Strings(labeling.Labels)))
+	fmt.Print(radiobcast.Annotate(out))
 	fmt.Println()
 	fmt.Printf("stages ℓ = %d; broadcast completed in round %d = 2ℓ−3\n",
-		labeling.Stages.L, out.CompletionRound)
+		out.Labeling.Stages.L, out.CompletionRound)
 	fmt.Println()
 	fmt.Println("golden comparison against the paper's printed transmit sets:")
 	allMatch := true

@@ -2,9 +2,9 @@
 // are already deployed in a business complex; only a central monitor knows
 // their locations and ranges, hence the topology. One gateway node must
 // broadcast a *sequence* of firmware chunks to all devices. The monitor
-// assigns 3-bit λack labels once; the gateway then uses acknowledged
-// broadcast (algorithm Back) so that it sends chunk k+1 only after every
-// device has provably received chunk k.
+// assigns 3-bit λack labels once (radiobcast.LabelNetwork); the gateway
+// then uses acknowledged broadcast (scheme "back") so that it sends chunk
+// k+1 only after every device has provably received chunk k.
 //
 //	go run ./examples/iot-acknowledged
 package main
@@ -13,25 +13,25 @@ import (
 	"fmt"
 	"log"
 
-	"radiobcast/internal/core"
+	"radiobcast"
 	"radiobcast/internal/graph"
 )
 
 func main() {
 	// The deployed device mesh: a random connected network of 40 devices.
 	// Node 0 is the gateway.
-	devices := graph.GNPConnected(40, 0.08, 2026)
-	gateway := 0
+	net := radiobcast.NewNetwork(graph.GNPConnected(40, 0.08, 2026))
+	net.Name = "device mesh"
 
 	// One-time labeling by the central monitor (3 bits per device — tiny
 	// enough for the weakest device ROM).
-	labeling, err := core.LambdaAck(devices, gateway, core.BuildOptions{})
+	labeling, err := radiobcast.LabelNetwork(net, "back")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("network: %v, max degree %d\n", devices, devices.MaxDegree())
+	fmt.Printf("network: %v, max degree %d\n", net, net.Graph.MaxDegree())
 	fmt.Printf("labels: %d bits each, %d distinct values, ack initiator z = node %d\n",
-		core.MaxLen(labeling.Labels), core.Distinct(labeling.Labels), labeling.Z)
+		labeling.Bits(), labeling.Distinct(), labeling.Z)
 
 	// Stream the firmware: each chunk is a fresh acknowledged broadcast
 	// over the same labels. The gateway proceeds only on acknowledgement.
@@ -43,16 +43,16 @@ func main() {
 	}
 	totalRounds := 0
 	for _, chunk := range firmware {
-		out, err := core.RunAcknowledgedLabeled(devices, labeling, gateway, chunk)
+		out, err := radiobcast.RunLabeled(labeling, radiobcast.WithMessage(chunk))
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := core.VerifyAcknowledged(out, chunk); err != nil {
+		if err := radiobcast.Verify(out); err != nil {
 			log.Fatalf("chunk %q not acknowledged: %v", chunk, err)
 		}
 		totalRounds += out.AckRound
 		fmt.Printf("%-24s delivered to all %d devices by round %3d, acknowledged in round %3d\n",
-			chunk, devices.N()-1, out.CompletionRound, out.AckRound)
+			chunk, net.Graph.N()-1, out.CompletionRound, out.AckRound)
 	}
 	fmt.Printf("\nfirmware rollout complete: %d chunks in %d total rounds\n",
 		len(firmware), totalRounds)

@@ -1,5 +1,6 @@
 // Quickstart: label a small radio network with the paper's 2-bit scheme λ
-// and broadcast a message with the universal algorithm B.
+// and broadcast a message with the universal algorithm B, entirely through
+// the public radiobcast facade.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,42 +9,39 @@ import (
 	"fmt"
 	"log"
 
-	"radiobcast/internal/core"
-	"radiobcast/internal/graph"
+	"radiobcast"
 )
 
 func main() {
 	// A 4×4 grid network; node 0 (a corner) is the source.
-	g := graph.Grid(4, 4)
-	source := 0
-
-	// The central monitor, which knows the topology, computes the 2-bit
-	// labeling scheme λ (§2.2 of the paper).
-	labeling, err := core.Lambda(g, source, core.BuildOptions{})
+	net, err := radiobcast.Family("grid", 16)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The central monitor, which knows the topology, computes the 2-bit
+	// labeling scheme λ (§2.2 of the paper); every node then runs the
+	// SAME universal deterministic algorithm B, knowing only its own
+	// label. One facade call does both steps.
+	out, err := radiobcast.Run(net, "b", radiobcast.WithMessage("hello, radio world"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := radiobcast.Verify(out); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("labels assigned by λ (x1 = joins the dominating set,")
 	fmt.Println("x2 = sends the \"stay\" signal):")
-	for v, label := range labeling.Labels {
+	for v, label := range out.Labeling.Labels {
 		fmt.Printf("  node %2d: %s\n", v, label)
 	}
 
-	// Every node now runs the SAME universal deterministic algorithm B,
-	// knowing only its own label. No node knows the topology or n.
-	out, err := core.RunBroadcastLabeled(g, labeling, source, "hello, radio world", nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := core.VerifyBroadcast(out, "hello, radio world"); err != nil {
-		log.Fatal(err)
-	}
-
 	fmt.Printf("\nbroadcast completed in round %d (Theorem 2.9 bound: 2n−3 = %d)\n",
-		out.CompletionRound, 2*g.N()-3)
+		out.CompletionRound, 2*net.Graph.N()-3)
 	fmt.Println("round each node first received the message:")
 	for v, r := range out.InformedRound {
-		if v == source {
+		if v == out.Source {
 			fmt.Printf("  node %2d: source\n", v)
 			continue
 		}

@@ -3,7 +3,8 @@
 // λarb scheme needs only six roles (3-bit labels), and broadcast then works
 // no matter which device originates a message: any device can be the source
 // without relabeling, because the coordinator r (role "111") orchestrates
-// the three-phase algorithm Barb.
+// the three-phase algorithm Barb. The facade expresses this as one
+// LabelNetwork call followed by RunLabeled with different WithSource values.
 //
 //	go run ./examples/sdn-arbitrary-source
 package main
@@ -12,26 +13,28 @@ import (
 	"fmt"
 	"log"
 
-	"radiobcast/internal/core"
-	"radiobcast/internal/graph"
+	"radiobcast"
 )
 
 func main() {
-	// The data-plane topology: a 6×6 grid of switches.
-	switches := graph.Grid(6, 6)
-	coordinator := 0
-
-	// The controller assigns roles once, without knowing future sources.
-	labeling, err := core.LambdaArb(switches, coordinator, core.BuildOptions{})
+	// The data-plane topology: a 6×6 grid of switches; switch 0 is the
+	// coordinator.
+	net, err := radiobcast.Family("grid", 36)
 	if err != nil {
 		log.Fatal(err)
 	}
-	roles := core.Histogram(labeling.Labels)
-	fmt.Printf("topology: %v; roles assigned by the controller:\n", switches)
-	for label, count := range roles {
+	net.Coordinated(0)
+
+	// The controller assigns roles once, without knowing future sources.
+	labeling, err := radiobcast.LabelNetwork(net, "barb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %v; roles assigned by the controller:\n", net)
+	for label, count := range labeling.Histogram() {
 		fmt.Printf("  role %s: %d switches\n", label, count)
 	}
-	fmt.Printf("(%d distinct roles — the paper's bound is 6)\n\n", core.Distinct(labeling.Labels))
+	fmt.Printf("(%d distinct roles — the paper's bound is 6)\n\n", labeling.Distinct())
 
 	// Three different switches originate alerts over the same role
 	// assignment; each time, all switches learn the alert AND agree on a
@@ -42,16 +45,17 @@ func main() {
 		6:  "intrusion: unexpected flow at sw6",
 	}
 	for _, src := range []int{35, 17, 6} {
-		out, err := core.RunArbitraryLabeled(switches, labeling, src, alerts[src])
+		out, err := radiobcast.RunLabeled(labeling,
+			radiobcast.WithSource(src), radiobcast.WithMessage(alerts[src]))
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := core.VerifyArbitrary(switches, out, alerts[src]); err != nil {
+		if err := radiobcast.Verify(out); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("source sw%-2d: %q\n", src, alerts[src])
 		fmt.Printf("  all %d switches informed; common completion-knowledge round: %d (total %d rounds)\n",
-			switches.N(), out.KnowsCompleteRound[0], out.TotalRounds)
+			net.Graph.N(), out.KnowsCompleteRound[0], out.TotalRounds)
 	}
 	fmt.Println("\nno relabeling was needed between sources — the roles are source-independent.")
 }

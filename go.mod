@@ -1,0 +1,3 @@
+module radiobcast
+
+go 1.24

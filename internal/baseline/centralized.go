@@ -117,8 +117,18 @@ func scheduleOneRound(g *graph.Graph, informed *nodeset.Set) []int {
 // through the radio engine (validating collision-freeness end to end) and
 // returns the outcome. Labels are nil: this baseline does not label nodes.
 func RunCentralized(g *graph.Graph, source int, mu string) (*Outcome, error) {
+	return RunCentralizedTuned(g, source, mu, nil)
+}
+
+// RunCentralizedTuned is RunCentralized with engine tuning (may be nil).
+func RunCentralizedTuned(g *graph.Graph, source int, mu string, tune *radio.Tuning) (*Outcome, error) {
 	schedule := BuildSchedule(g, source)
-	n := g.N()
+	return RunScheduled(g, schedule, source, mu, tune)
+}
+
+// ScheduledProtocols turns a per-round transmitter schedule into Scripted
+// protocols (one per node) carrying message mu.
+func ScheduledProtocols(n int, schedule [][]int, mu string) []radio.Protocol {
 	ps := make([]radio.Protocol, n)
 	msg := radio.Message{Kind: radio.KindData, Payload: mu}
 	for v := 0; v < n; v++ {
@@ -129,7 +139,15 @@ func RunCentralized(g *graph.Graph, source int, mu string) (*Outcome, error) {
 			ps[v].(*radio.Scripted).Schedule[r+1] = msg
 		}
 	}
-	out, err := observe(g, ps, source, len(schedule)+1, nil)
+	return ps
+}
+
+// RunScheduled replays a precomputed transmitter schedule through the
+// engine and observes the outcome (used to validate schedules end to end
+// without rebuilding them).
+func RunScheduled(g *graph.Graph, schedule [][]int, source int, mu string, tune *radio.Tuning) (*Outcome, error) {
+	ps := ScheduledProtocols(g.N(), schedule, mu)
+	out, err := Observe(g, ps, source, len(schedule)+1, nil, tune)
 	if err != nil {
 		return out, fmt.Errorf("baseline: centralized schedule incomplete: %w", err)
 	}

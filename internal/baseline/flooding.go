@@ -92,8 +92,13 @@ func NewFloodingProtocols(labels []core.Label, d FloodingDelays, source int, mu 
 // labeling and returns the outcome (which may be incomplete: callers use
 // this to *verify* candidate labelings).
 func RunFlooding(g *graph.Graph, labels []core.Label, d FloodingDelays, source int, mu string) *Outcome {
-	ps := NewFloodingProtocols(labels, d, source, mu)
-	maxRounds := 3*g.N() + 8
-	out, _ := observe(g, ps, source, maxRounds, labels)
+	out, _ := RunFloodingTuned(g, labels, d, source, mu, nil)
 	return out
+}
+
+// RunFloodingTuned is RunFlooding with engine tuning (may be nil); unlike
+// RunFlooding it surfaces the incomplete-broadcast error.
+func RunFloodingTuned(g *graph.Graph, labels []core.Label, d FloodingDelays, source int, mu string, tune *radio.Tuning) (*Outcome, error) {
+	ps := NewFloodingProtocols(labels, d, source, mu)
+	return Observe(g, ps, source, FloodingMaxRounds(g.N()), labels, tune)
 }

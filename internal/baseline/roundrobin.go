@@ -107,12 +107,25 @@ func NewRoundRobinProtocols(labels []core.Label, source int, mu string) []radio.
 // RunRoundRobin labels g with distinct IDs and runs the round-robin
 // broadcast, returning per-node informed rounds and the completion round.
 func RunRoundRobin(g *graph.Graph, source int, mu string) (*Outcome, error) {
+	return RunRoundRobinTuned(g, source, mu, nil)
+}
+
+// RunRoundRobinTuned is RunRoundRobin with engine tuning (may be nil).
+func RunRoundRobinTuned(g *graph.Graph, source int, mu string, tune *radio.Tuning) (*Outcome, error) {
 	labels := RoundRobinLabels(g.N())
 	ps := NewRoundRobinProtocols(labels, source, mu)
-	period := 1 << uint(idWidth(g.N()))
-	maxRounds := period * (g.Eccentricity(source) + 2)
-	return observe(g, ps, source, maxRounds, labels)
+	maxRounds := SlottedMaxRounds(g, source, idWidth(g.N()))
+	return Observe(g, ps, source, maxRounds, labels, tune)
 }
+
+// SlottedMaxRounds bounds a slotted (round-robin / colour-robin) run: one
+// full 2^labelBits period per BFS layer, with slack.
+func SlottedMaxRounds(g *graph.Graph, source, labelBits int) int {
+	return (1 << uint(labelBits)) * (g.Eccentricity(source) + 2)
+}
+
+// FloodingMaxRounds bounds a delayed-flooding run.
+func FloodingMaxRounds(n int) int { return 3*n + 8 }
 
 // Outcome is the shared result shape for all baseline runs.
 type Outcome struct {
@@ -124,7 +137,7 @@ type Outcome struct {
 	LabelBits       int
 }
 
-func observe(g *graph.Graph, ps []radio.Protocol, source, maxRounds int, labels []core.Label) (*Outcome, error) {
+func Observe(g *graph.Graph, ps []radio.Protocol, source, maxRounds int, labels []core.Label, tune *radio.Tuning) (*Outcome, error) {
 	n := g.N()
 	informed := make([]int, n)
 	done := func(int) bool {
@@ -138,7 +151,7 @@ func observe(g *graph.Graph, ps []radio.Protocol, source, maxRounds int, labels 
 	res := radio.Run(g, wrapObservers(ps, informed), radio.Options{
 		MaxRounds: maxRounds,
 		Stop:      done,
-	})
+	}.With(tune))
 	out := &Outcome{
 		Result: res, Labels: labels, InformedRound: informed,
 		AllInformed: true, LabelBits: core.MaxLen(labels),

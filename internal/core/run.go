@@ -34,13 +34,23 @@ func RunBroadcast(g *graph.Graph, source int, mu string, opt BuildOptions) (*Bro
 
 // RunBroadcastLabeled executes B on a pre-labeled graph. trace may be nil.
 func RunBroadcastLabeled(g *graph.Graph, l *Labeling, source int, mu string, trace *radio.Trace) (*BroadcastOutcome, error) {
+	var tune *radio.Tuning
+	if trace != nil {
+		tune = &radio.Tuning{Trace: trace}
+	}
+	return RunBroadcastTuned(g, l, source, mu, tune)
+}
+
+// RunBroadcastTuned executes B on a pre-labeled graph with engine tuning
+// (workers, round-bound override, trace, fault injection) layered onto the
+// scheme's default options. tune may be nil.
+func RunBroadcastTuned(g *graph.Graph, l *Labeling, source int, mu string, tune *radio.Tuning) (*BroadcastOutcome, error) {
 	n := g.N()
 	ps := NewBProtocols(l.Labels, source, mu)
 	res := radio.Run(g, ps, radio.Options{
 		MaxRounds:       2*n + 4,
 		StopAfterSilent: 3,
-		Trace:           trace,
-	})
+	}.With(tune))
 	out := &BroadcastOutcome{Result: res, Stages: l.Stages, Labels: l.Labels}
 	out.InformedRound = make([]int, n)
 	out.AllInformed = true
@@ -110,13 +120,19 @@ func RunAcknowledged(g *graph.Graph, source int, mu string, opt BuildOptions) (*
 
 // RunAcknowledgedLabeled executes Back on a pre-labeled graph (λack labels).
 func RunAcknowledgedLabeled(g *graph.Graph, l *Labeling, source int, mu string) (*AckOutcome, error) {
+	return RunAcknowledgedTuned(g, l, source, mu, nil)
+}
+
+// RunAcknowledgedTuned executes Back on a pre-labeled graph with engine
+// tuning layered onto the scheme's default options. tune may be nil.
+func RunAcknowledgedTuned(g *graph.Graph, l *Labeling, source int, mu string, tune *radio.Tuning) (*AckOutcome, error) {
 	n := g.N()
 	ps := NewBackProtocols(l.Labels, source, mu)
 	src := ps[source].(*AlgBack)
 	res := radio.Run(g, ps, radio.Options{
 		MaxRounds:       3*n + 6,
 		StopAfterSilent: 3,
-	})
+	}.With(tune))
 	out := &AckOutcome{Z: l.Z}
 	out.Result = res
 	out.Stages = l.Stages
@@ -243,6 +259,12 @@ func RunArbitrary(g *graph.Graph, r, source int, mu string, opt BuildOptions) (*
 
 // RunArbitraryLabeled runs Barb on a pre-labeled graph (λarb labels).
 func RunArbitraryLabeled(g *graph.Graph, l *Labeling, source int, mu string) (*ArbOutcome, error) {
+	return RunArbitraryTuned(g, l, source, mu, nil)
+}
+
+// RunArbitraryTuned runs Barb on a pre-labeled graph with engine tuning
+// layered onto the scheme's default options. tune may be nil.
+func RunArbitraryTuned(g *graph.Graph, l *Labeling, source int, mu string, tune *radio.Tuning) (*ArbOutcome, error) {
 	n := g.N()
 	if n < 2 {
 		return nil, fmt.Errorf("core: Barb needs n ≥ 2")
@@ -262,7 +284,7 @@ func RunArbitraryLabeled(g *graph.Graph, l *Labeling, source int, mu string) (*A
 			}
 			return true
 		},
-	})
+	}.With(tune))
 	out := &ArbOutcome{
 		Result: res, Labels: l.Labels, R: l.R, Source: source,
 		MuKnownRound:       make([]int, n),

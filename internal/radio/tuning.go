@@ -1,0 +1,39 @@
+package radio
+
+// Tuning carries the caller-adjustable engine knobs that are orthogonal to
+// a runner's scheme-specific Options (round bounds, stop predicates). The
+// public facade builds one Tuning from its functional options and every
+// runner layers it onto its base Options with Options.With, so workers,
+// tracing and fault injection reach all schemes through one path.
+type Tuning struct {
+	// Workers overrides Options.Workers when non-zero (see Options.Workers:
+	// < 0 means GOMAXPROCS).
+	Workers int
+	// MaxRounds overrides the runner's default round bound when > 0.
+	MaxRounds int
+	// Trace, when non-nil, records the run round by round.
+	Trace *Trace
+	// Drop, when non-nil, injects transmission faults (see Options.Drop).
+	Drop func(node, round int) bool
+}
+
+// With returns o with the non-zero fields of t layered on top. A nil t
+// returns o unchanged, so runners can pass their tuning through untouched.
+func (o Options) With(t *Tuning) Options {
+	if t == nil {
+		return o
+	}
+	if t.Workers != 0 {
+		o.Workers = t.Workers
+	}
+	if t.MaxRounds > 0 {
+		o.MaxRounds = t.MaxRounds
+	}
+	if t.Trace != nil {
+		o.Trace = t.Trace
+	}
+	if t.Drop != nil {
+		o.Drop = t.Drop
+	}
+	return o
+}

@@ -1,0 +1,111 @@
+package radiobcast
+
+import (
+	"radiobcast/internal/core"
+	"radiobcast/internal/radio"
+)
+
+// Config collects every knob a run can take. It is built from functional
+// Options by Run, Label and RunLabeled; schemes receive the resolved
+// Config and pick out what they understand.
+type Config struct {
+	// Mu is the source message µ (default "µ").
+	Mu string
+	// Workers selects the engine: 0 = scheme default (sequential), > 1 =
+	// node-partitioned parallel engine with that many goroutines, < 0 =
+	// GOMAXPROCS workers. Results are bit-identical in all modes.
+	Workers int
+	// MaxRounds overrides the scheme's default round bound when > 0.
+	MaxRounds int
+	// Trace, when non-nil, records every round (transmissions and
+	// deliveries) for rendering or debugging.
+	Trace *Trace
+	// Drop, when non-nil, injects transmission faults: a transmission by
+	// node v in round r is jammed when Drop(v, r) is true.
+	Drop func(node, round int) bool
+	// Quick reduces search effort for schemes that search for labelings
+	// (currently the one-bit scheme).
+	Quick bool
+	// Coordinator is the coordinator node r of λarb (scheme "barb").
+	// Unless WithCoordinator was given, Run substitutes the Network's
+	// coordinator.
+	Coordinator int
+	// Seed drives any randomized search a scheme performs (deterministic
+	// per seed; currently the one-bit hill-climb).
+	Seed int64
+	// Build tunes the §2.1 stage construction underlying the λ-family
+	// schemes (prune order, deliberately broken ablation modes).
+	Build core.BuildOptions
+
+	// source is the WithSource override; -1 means "use the Network's /
+	// Labeling's source".
+	source int
+	// coordinatorSet records that WithCoordinator was given explicitly
+	// (node 0 is a valid coordinator, so the value alone cannot tell).
+	coordinatorSet bool
+}
+
+// Option is a functional option for Run, Label and RunLabeled.
+type Option func(*Config)
+
+// WithMessage sets the source message µ.
+func WithMessage(mu string) Option { return func(c *Config) { c.Mu = mu } }
+
+// WithWorkers selects engine parallelism: n > 1 uses n goroutines, n < 0
+// uses GOMAXPROCS. The engine guarantees results identical to the
+// sequential mode.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithMaxRounds overrides the scheme's default round bound.
+func WithMaxRounds(n int) Option { return func(c *Config) { c.MaxRounds = n } }
+
+// WithTrace records the run round by round into tr.
+func WithTrace(tr *Trace) Option { return func(c *Config) { c.Trace = tr } }
+
+// WithFaults injects transmission faults: node v's transmission in round r
+// is jammed (heard by nobody) whenever drop(v, r) returns true.
+func WithFaults(drop func(node, round int) bool) Option {
+	return func(c *Config) { c.Drop = drop }
+}
+
+// WithQuick reduces search effort for labeling schemes that search
+// (trading completeness for speed).
+func WithQuick() Option { return func(c *Config) { c.Quick = true } }
+
+// WithSource overrides the source node for this run (useful with
+// RunLabeled: λarb labelings are source-independent).
+func WithSource(v int) Option { return func(c *Config) { c.source = v } }
+
+// WithCoordinator sets the coordinator node r used by scheme "barb".
+func WithCoordinator(r int) Option {
+	return func(c *Config) {
+		c.Coordinator = r
+		c.coordinatorSet = true
+	}
+}
+
+// WithSeed sets the seed of any randomized labeling search.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithBuild sets the options of the §2.1 stage construction (λ-family
+// schemes); mainly for ablations.
+func WithBuild(b core.BuildOptions) Option { return func(c *Config) { c.Build = b } }
+
+func newConfig(opts []Option) *Config {
+	c := &Config{Mu: "µ", Seed: 1, source: -1}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// tuning converts the engine-level knobs into the overlay every internal
+// runner accepts.
+func (c *Config) tuning() *radio.Tuning {
+	return &radio.Tuning{
+		Workers:   c.Workers,
+		MaxRounds: c.MaxRounds,
+		Trace:     c.Trace,
+		Drop:      c.Drop,
+	}
+}

@@ -1,0 +1,69 @@
+package radiobcast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Scheme{}
+)
+
+// Register adds a scheme to the global registry under s.Name(). It panics
+// on an empty or duplicate name: registration is an init-time act and a
+// clash is a programming error.
+func Register(s Scheme) {
+	name := s.Name()
+	if name == "" {
+		panic("radiobcast: Register with empty scheme name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("radiobcast: scheme %q registered twice", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the registered scheme with the given name.
+func Lookup(name string) (Scheme, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Schemes returns all registered schemes sorted by name.
+func Schemes() []Scheme {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Scheme, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// DescribeSchemes renders the registry as an aligned name/description
+// listing (one scheme per line), as printed by the CLIs' -schemes flag.
+func DescribeSchemes() string {
+	var b strings.Builder
+	for _, s := range Schemes() {
+		fmt.Fprintf(&b, "%-12s %s\n", s.Name(), s.Describe())
+	}
+	return b.String()
+}
+
+// SchemeNames returns the sorted names of all registered schemes.
+func SchemeNames() []string {
+	ss := Schemes()
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name()
+	}
+	return names
+}

@@ -1,0 +1,133 @@
+package radiobcast
+
+import (
+	"fmt"
+
+	"radiobcast/internal/radio"
+)
+
+// LabelNetwork computes the named scheme's labeling of the network — the
+// paper's one-time "central monitor" step. The labeling can then serve any
+// number of RunLabeled broadcasts.
+func LabelNetwork(net *Network, scheme string, opts ...Option) (*Labeling, error) {
+	s, cfg, err := resolve(net, scheme, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Label(net.Graph, cfg.sourceOr(net.Source), cfg)
+}
+
+// Run labels the network with the named scheme and executes one broadcast:
+//
+//	out, err := radiobcast.Run(net, "barb", radiobcast.WithWorkers(-1))
+//
+// A run whose broadcast does not complete is NOT an error — inspect
+// out.AllInformed or call Verify(out), which checks the scheme's full
+// guarantees. Errors mean the setup was impossible (unknown scheme, no
+// labeling exists, …).
+func Run(net *Network, scheme string, opts ...Option) (*Outcome, error) {
+	s, cfg, err := resolve(net, scheme, opts)
+	if err != nil {
+		return nil, err
+	}
+	source := cfg.sourceOr(net.Source)
+	l, err := s.Label(net.Graph, source, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return finish(s, l, source, cfg)
+}
+
+// RunLabeled executes one broadcast over a previously computed labeling.
+// The source defaults to the labeling's source; schemes whose labels are
+// source-independent ("barb") accept any WithSource override.
+func RunLabeled(l *Labeling, opts ...Option) (*Outcome, error) {
+	s, ok := Lookup(l.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("radiobcast: labeling names unregistered scheme %q", l.Scheme)
+	}
+	cfg := newConfig(opts)
+	source := cfg.sourceOr(l.Source)
+	if err := checkNode(l.Graph, source, "source"); err != nil {
+		return nil, err
+	}
+	return finish(s, l, source, cfg)
+}
+
+// Verify checks an outcome against the guarantees of the scheme that
+// produced it (the paper's theorems for the λ family, collision-freeness
+// for the slotted baselines, completion for the flooding family).
+func Verify(out *Outcome) error {
+	s, ok := Lookup(out.Scheme)
+	if !ok {
+		return fmt.Errorf("radiobcast: outcome names unregistered scheme %q", out.Scheme)
+	}
+	return s.Verify(out)
+}
+
+// Annotate renders the outcome's per-node transmit/receive history in the
+// paper's Figure 1 annotation format (label, {transmit rounds}, (receive
+// rounds)).
+func Annotate(out *Outcome) string {
+	var labels []string
+	if out.Labeling != nil && out.Labeling.Labels != nil {
+		labels = out.Labeling.Strings()
+	} else {
+		labels = make([]string, out.Graph.N())
+	}
+	return radio.Annotations(out.Result, labels)
+}
+
+func resolve(net *Network, scheme string, opts []Option) (Scheme, *Config, error) {
+	if net == nil || net.Graph == nil {
+		return nil, nil, fmt.Errorf("radiobcast: nil network")
+	}
+	s, ok := Lookup(scheme)
+	if !ok {
+		return nil, nil, fmt.Errorf("radiobcast: unknown scheme %q (registered: %v)", scheme, SchemeNames())
+	}
+	cfg := newConfig(opts)
+	if !cfg.coordinatorSet {
+		cfg.Coordinator = net.Coordinator
+	}
+	if err := checkNode(net.Graph, cfg.sourceOr(net.Source), "source"); err != nil {
+		return nil, nil, err
+	}
+	if err := checkNode(net.Graph, cfg.Coordinator, "coordinator"); err != nil {
+		return nil, nil, err
+	}
+	return s, cfg, nil
+}
+
+func checkNode(g *Graph, v int, role string) error {
+	if v < 0 || v >= g.N() {
+		return fmt.Errorf("radiobcast: %s %d out of range [0,%d)", role, v, g.N())
+	}
+	return nil
+}
+
+func (c *Config) sourceOr(fallback int) int {
+	if c.source >= 0 {
+		return c.source
+	}
+	return fallback
+}
+
+// finish runs the scheme and fills the outcome fields common to all
+// schemes, so adapters only populate what is specific to them.
+func finish(s Scheme, l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	out, err := s.Run(l, source, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Scheme = s.Name()
+	out.Graph = l.Graph
+	out.Source = source
+	out.Mu = cfg.Mu
+	if out.Labeling == nil {
+		// Schemes may install their own labeling (centralized recomputes
+		// its schedule for an overridden source); keep it.
+		out.Labeling = l
+	}
+	return out, nil
+}

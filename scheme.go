@@ -1,0 +1,150 @@
+package radiobcast
+
+import (
+	"radiobcast/internal/baseline"
+	"radiobcast/internal/core"
+	"radiobcast/internal/graph"
+	"radiobcast/internal/radio"
+)
+
+// Re-exported leaf types, so consumers of the facade never need to reach
+// into internal packages.
+type (
+	// Graph is an undirected radio network topology.
+	Graph = graph.Graph
+	// Label is a binary-string node label (the paper's x1x2x3 bits).
+	Label = core.Label
+	// Protocol is a per-node deterministic state machine driven by the
+	// synchronous radio engine.
+	Protocol = radio.Protocol
+	// Message is what a node transmits in a round.
+	Message = radio.Message
+	// Action is a protocol's per-round decision (transmit or listen).
+	Action = radio.Action
+	// Result aggregates everything observable about an engine run.
+	Result = radio.Result
+	// Trace records a run round by round (see WithTrace).
+	Trace = radio.Trace
+)
+
+// Labeling is the output of a Scheme's labeling phase: the per-node labels
+// plus whatever scheme-specific structure the run phase needs. It plays
+// the paper's "central monitor" role: compute it once, then run any number
+// of broadcasts over it (λarb labelings even allow changing the source).
+type Labeling struct {
+	// Scheme is the registry name of the scheme that produced this
+	// labeling (RunLabeled uses it to find the matching run logic).
+	Scheme string
+	// Graph is the labeled topology.
+	Graph *Graph
+	// Source is the node the labeling was computed for: the designated
+	// source for source-specific schemes, the coordinator r for "barb".
+	Source int
+	// Labels holds one label per node (nil for the unlabeled centralized
+	// baseline).
+	Labels []Label
+	// Stages is the §2.1 stage construction (λ-family schemes only).
+	Stages *core.Stages
+	// Z is the acknowledgement initiator of λack (−1 when absent).
+	Z int
+	// R is the coordinator of λarb (−1 when absent).
+	R int
+	// Delays are the flooding delays selected by 1-bit labels (schemes
+	// "onebit" and "flooding").
+	Delays baseline.FloodingDelays
+	// Schedule is the centralized baseline's per-round transmitter plan.
+	Schedule [][]int
+
+	// core caches the internal labeling for the λ-family run paths.
+	core *core.Labeling
+}
+
+// Bits returns the length of the labeling: the maximum label length in
+// bits (§1.1 of the paper).
+func (l *Labeling) Bits() int { return core.MaxLen(l.Labels) }
+
+// Distinct returns the number of distinct label values.
+func (l *Labeling) Distinct() int { return core.Distinct(l.Labels) }
+
+// Strings renders the labels as binary strings, one per node.
+func (l *Labeling) Strings() []string { return core.Strings(l.Labels) }
+
+// Histogram counts nodes per label value.
+func (l *Labeling) Histogram() map[Label]int { return core.Histogram(l.Labels) }
+
+// coreLabeling recovers the internal λ-family labeling, reconstructing it
+// from the public fields when the Labeling was assembled by hand.
+func (l *Labeling) coreLabeling() *core.Labeling {
+	if l.core != nil {
+		return l.core
+	}
+	return &core.Labeling{Labels: l.Labels, Stages: l.Stages, Z: l.Z, R: l.R}
+}
+
+// Outcome is the unified result of running any registered scheme. The
+// first block is populated by every scheme; the later fields only by the
+// schemes they belong to.
+type Outcome struct {
+	// Scheme is the registry name of the scheme that ran.
+	Scheme string
+	// Graph is the topology the run executed on.
+	Graph *Graph
+	// Source is the node that originated µ in this run.
+	Source int
+	// Mu is the broadcast message.
+	Mu string
+	// Labeling is the labeling the run executed under.
+	Labeling *Labeling
+	// Result is the raw engine observation (transmissions, receptions,
+	// collisions, message sizes).
+	Result *Result
+	// InformedRound[v] is the round in which v first learned µ (0 for the
+	// source, and for nodes never informed).
+	InformedRound []int
+	// AllInformed reports whether every node learned µ.
+	AllInformed bool
+	// CompletionRound is the largest InformedRound.
+	CompletionRound int
+
+	// AckRound is the round the source received the acknowledgement
+	// (scheme "back"; 0 when absent).
+	AckRound int
+
+	// KnowsCompleteRound[v] is the absolute round from which v knows the
+	// broadcast completed (scheme "barb"; 0 = never).
+	KnowsCompleteRound []int
+	// TotalRounds is the total length of the three-phase Barb execution.
+	TotalRounds int
+	// T is the completion estimate disseminated by Barb's coordinator.
+	T int
+
+	// inner retains the scheme-specific outcome for Verify.
+	inner any
+}
+
+// Scheme is the single contract every algorithm in this repository
+// implements: label a graph, derive per-node protocols, run, verify. All
+// eight built-in schemes (b, back, barb, onebit, roundrobin, colorrobin,
+// centralized, flooding) register implementations of this interface; new
+// algorithms plug in via Register without touching any caller.
+type Scheme interface {
+	// Name is the registry key (e.g. "b", "barb", "roundrobin").
+	Name() string
+	// Describe is a one-line human description (label length, origin).
+	Describe() string
+	// Label computes the scheme's labeling of g for the given source
+	// (schemes with a coordinator read it from cfg.Coordinator instead).
+	Label(g *Graph, source int, cfg *Config) (*Labeling, error)
+	// Protocols instantiates one fresh protocol per node for a broadcast
+	// of mu from source under labeling l.
+	Protocols(l *Labeling, source int, mu string) ([]Protocol, error)
+	// Run executes a broadcast of cfg.Mu from source under labeling l and
+	// reports the unified outcome. An unsuccessful broadcast is not an
+	// error: it yields an Outcome with AllInformed == false that Verify
+	// rejects. Errors are reserved for impossible setups.
+	Run(l *Labeling, source int, cfg *Config) (*Outcome, error)
+	// Verify checks the outcome against the scheme's guarantees (the
+	// paper's theorems for the λ family, collision-freeness for the
+	// slotted baselines, plain completion for flooding).
+	Verify(out *Outcome) error
+}

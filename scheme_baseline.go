@@ -1,0 +1,201 @@
+package radiobcast
+
+import (
+	"fmt"
+
+	"radiobcast/internal/baseline"
+)
+
+func init() {
+	Register(roundRobinScheme{})
+	Register(colorRobinScheme{})
+	Register(centralizedScheme{})
+	Register(floodingScheme{})
+}
+
+// baselineOutcome maps the shared baseline result shape into the unified
+// Outcome. Incompleteness is not an error at run level (Verify judges it).
+func baselineOutcome(out *baseline.Outcome) *Outcome {
+	return &Outcome{
+		Result:          out.Result,
+		InformedRound:   out.InformedRound,
+		AllInformed:     out.AllInformed,
+		CompletionRound: out.CompletionRound,
+		inner:           out,
+	}
+}
+
+func verifyComplete(out *Outcome, scheme string) error {
+	if _, ok := out.inner.(*baseline.Outcome); !ok {
+		return fmt.Errorf("radiobcast: outcome did not come from scheme %s", scheme)
+	}
+	if !out.AllInformed {
+		return fmt.Errorf("radiobcast: %s broadcast incomplete after %d rounds", scheme, out.Result.Rounds)
+	}
+	return nil
+}
+
+func verifyCollisionFree(out *Outcome, scheme string) error {
+	if err := verifyComplete(out, scheme); err != nil {
+		return err
+	}
+	for v, c := range out.Result.Collisions {
+		if c > 0 {
+			return fmt.Errorf("radiobcast: %s is slotted but node %d observed %d collision rounds", scheme, v, c)
+		}
+	}
+	return nil
+}
+
+// roundRobinScheme adapts the classical O(log n)-bit distinct-identifier
+// baseline: node v transmits µ exactly in slot v of a 2^⌈log₂ n⌉ period.
+type roundRobinScheme struct{}
+
+func (roundRobinScheme) Name() string { return "roundrobin" }
+func (roundRobinScheme) Describe() string {
+	return "O(log n)-bit distinct identifiers, one transmission slot per node"
+}
+
+func (roundRobinScheme) Label(g *Graph, source int, _ *Config) (*Labeling, error) {
+	return &Labeling{
+		Scheme: "roundrobin", Graph: g, Source: source,
+		Labels: baseline.RoundRobinLabels(g.N()), Z: -1, R: -1,
+	}, nil
+}
+
+func (roundRobinScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, error) {
+	return baseline.NewRoundRobinProtocols(l.Labels, source, mu), nil
+}
+
+func (r roundRobinScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	ps, _ := r.Protocols(l, source, cfg.Mu)
+	maxRounds := baseline.SlottedMaxRounds(l.Graph, source, l.Bits())
+	out, _ := baseline.Observe(l.Graph, ps, source, maxRounds, l.Labels, cfg.tuning())
+	return baselineOutcome(out), nil
+}
+
+func (roundRobinScheme) Verify(out *Outcome) error {
+	return verifyCollisionFree(out, "roundrobin")
+}
+
+// colorRobinScheme adapts the O(log Δ)-bit distance-2-colouring baseline:
+// informed nodes transmit in the slot of their colour.
+type colorRobinScheme struct{}
+
+func (colorRobinScheme) Name() string { return "colorrobin" }
+func (colorRobinScheme) Describe() string {
+	return "O(log Δ)-bit distance-2 colouring, one transmission slot per colour"
+}
+
+func (colorRobinScheme) Label(g *Graph, source int, _ *Config) (*Labeling, error) {
+	labels, _ := baseline.ColorRobinLabels(g)
+	return &Labeling{
+		Scheme: "colorrobin", Graph: g, Source: source,
+		Labels: labels, Z: -1, R: -1,
+	}, nil
+}
+
+func (colorRobinScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, error) {
+	return baseline.NewColorRobinProtocols(l.Labels, source, mu), nil
+}
+
+func (c colorRobinScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	ps, _ := c.Protocols(l, source, cfg.Mu)
+	maxRounds := baseline.SlottedMaxRounds(l.Graph, source, l.Bits())
+	out, _ := baseline.Observe(l.Graph, ps, source, maxRounds, l.Labels, cfg.tuning())
+	return baselineOutcome(out), nil
+}
+
+func (colorRobinScheme) Verify(out *Outcome) error {
+	return verifyCollisionFree(out, "colorrobin")
+}
+
+// centralizedScheme adapts the known-topology reference point: a greedy
+// controller precomputes a collision-free transmitter schedule; nodes get
+// scripts, not labels.
+type centralizedScheme struct{}
+
+func (centralizedScheme) Name() string { return "centralized" }
+func (centralizedScheme) Describe() string {
+	return "centralized greedy schedule over full topology knowledge (no labels)"
+}
+
+func (centralizedScheme) Label(g *Graph, source int, _ *Config) (*Labeling, error) {
+	return &Labeling{
+		Scheme: "centralized", Graph: g, Source: source,
+		Schedule: baseline.BuildSchedule(g, source), Z: -1, R: -1,
+	}, nil
+}
+
+func (centralizedScheme) Protocols(l *Labeling, _ int, mu string) ([]Protocol, error) {
+	if l.Schedule == nil {
+		return nil, fmt.Errorf("radiobcast: centralized labeling has no schedule")
+	}
+	return baseline.ScheduledProtocols(l.Graph.N(), l.Schedule, mu), nil
+}
+
+func (c centralizedScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	if source != l.Source || l.Schedule == nil {
+		// The schedule is source-specific; recompute for a new source.
+		l = &Labeling{
+			Scheme: "centralized", Graph: l.Graph, Source: source,
+			Schedule: baseline.BuildSchedule(l.Graph, source), Z: -1, R: -1,
+		}
+	}
+	ps, err := c.Protocols(l, source, cfg.Mu)
+	if err != nil {
+		return nil, err
+	}
+	out, _ := baseline.Observe(l.Graph, ps, source, len(l.Schedule)+1, nil, cfg.tuning())
+	o := baselineOutcome(out)
+	o.Labeling = l
+	return o, nil
+}
+
+func (centralizedScheme) Verify(out *Outcome) error {
+	if err := verifyComplete(out, "centralized"); err != nil {
+		return err
+	}
+	if want := len(out.Labeling.Schedule); out.CompletionRound > want {
+		return fmt.Errorf("radiobcast: centralized run took %d rounds, schedule promises %d",
+			out.CompletionRound, want)
+	}
+	return nil
+}
+
+// floodingScheme adapts plain one-bit delayed flooding with every node
+// labeled 1 (forward once, one round after first reception). It is NOT
+// universal — it collides on many topologies — and serves as the
+// comparison point the verified one-bit schemes improve on.
+type floodingScheme struct{}
+
+func (floodingScheme) Name() string { return "flooding" }
+func (floodingScheme) Describe() string {
+	return "1-bit delayed flooding, all-1 labels (not universal; baseline for onebit)"
+}
+
+func (floodingScheme) Label(g *Graph, source int, _ *Config) (*Labeling, error) {
+	labels := make([]Label, g.N())
+	for v := range labels {
+		labels[v] = Label("1")
+	}
+	return &Labeling{
+		Scheme: "flooding", Graph: g, Source: source,
+		Labels: labels, Delays: baseline.DefaultDelays, Z: -1, R: -1,
+	}, nil
+}
+
+func (floodingScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, error) {
+	return baseline.NewFloodingProtocols(l.Labels, l.Delays, source, mu), nil
+}
+
+func (f floodingScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	ps, _ := f.Protocols(l, source, cfg.Mu)
+	maxRounds := baseline.FloodingMaxRounds(l.Graph.N())
+	out, _ := baseline.Observe(l.Graph, ps, source, maxRounds, l.Labels, cfg.tuning())
+	return baselineOutcome(out), nil
+}
+
+func (floodingScheme) Verify(out *Outcome) error {
+	return verifyComplete(out, "flooding")
+}

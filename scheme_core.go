@@ -1,0 +1,167 @@
+package radiobcast
+
+import (
+	"fmt"
+
+	"radiobcast/internal/core"
+)
+
+func init() {
+	Register(bScheme{})
+	Register(backScheme{})
+	Register(barbScheme{})
+}
+
+// bScheme adapts the paper's 2-bit scheme λ with universal algorithm B
+// (§2, Theorem 2.9).
+type bScheme struct{}
+
+func (bScheme) Name() string { return "b" }
+func (bScheme) Describe() string {
+	return "2-bit labeling λ + universal algorithm B (broadcast in ≤ 2n−3 rounds)"
+}
+
+func (bScheme) Label(g *Graph, source int, cfg *Config) (*Labeling, error) {
+	l, err := core.Lambda(g, source, cfg.Build)
+	if err != nil {
+		return nil, err
+	}
+	return wrapCore("b", g, source, l), nil
+}
+
+func (bScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, error) {
+	return core.NewBProtocols(l.Labels, source, mu), nil
+}
+
+func (bScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	out, err := core.RunBroadcastTuned(l.Graph, l.coreLabeling(), source, cfg.Mu, cfg.tuning())
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Result:          out.Result,
+		InformedRound:   out.InformedRound,
+		AllInformed:     out.AllInformed,
+		CompletionRound: out.CompletionRound,
+		inner:           out,
+	}, nil
+}
+
+func (bScheme) Verify(out *Outcome) error {
+	b, ok := out.inner.(*core.BroadcastOutcome)
+	if !ok {
+		return fmt.Errorf("radiobcast: outcome did not come from scheme b")
+	}
+	return core.VerifyBroadcast(b, out.Mu)
+}
+
+// backScheme adapts the 3-bit scheme λack with acknowledged broadcast
+// Back (§3, Theorem 3.9).
+type backScheme struct{}
+
+func (backScheme) Name() string { return "back" }
+func (backScheme) Describe() string {
+	return "3-bit labeling λack + algorithm Back (broadcast with acknowledgement)"
+}
+
+func (backScheme) Label(g *Graph, source int, cfg *Config) (*Labeling, error) {
+	l, err := core.LambdaAck(g, source, cfg.Build)
+	if err != nil {
+		return nil, err
+	}
+	return wrapCore("back", g, source, l), nil
+}
+
+func (backScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, error) {
+	return core.NewBackProtocols(l.Labels, source, mu), nil
+}
+
+func (backScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	out, err := core.RunAcknowledgedTuned(l.Graph, l.coreLabeling(), source, cfg.Mu, cfg.tuning())
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Result:          out.Result,
+		InformedRound:   out.InformedRound,
+		AllInformed:     out.AllInformed,
+		CompletionRound: out.CompletionRound,
+		AckRound:        out.AckRound,
+		inner:           out,
+	}, nil
+}
+
+func (backScheme) Verify(out *Outcome) error {
+	a, ok := out.inner.(*core.AckOutcome)
+	if !ok {
+		return fmt.Errorf("radiobcast: outcome did not come from scheme back")
+	}
+	return core.VerifyAcknowledged(a, out.Mu)
+}
+
+// barbScheme adapts the 3-bit source-independent scheme λarb with the
+// three-phase algorithm Barb (§4): labels depend only on the coordinator
+// r, so one labeling serves broadcasts from any source.
+type barbScheme struct{}
+
+func (barbScheme) Name() string { return "barb" }
+func (barbScheme) Describe() string {
+	return "3-bit labeling λarb + algorithm Barb (any node may be the source)"
+}
+
+func (barbScheme) Label(g *Graph, _ int, cfg *Config) (*Labeling, error) {
+	l, err := core.LambdaArb(g, cfg.Coordinator, cfg.Build)
+	if err != nil {
+		return nil, err
+	}
+	return wrapCore("barb", g, cfg.Coordinator, l), nil
+}
+
+func (barbScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, error) {
+	return core.NewBarbProtocols(l.Labels, source, mu), nil
+}
+
+func (barbScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	out, err := core.RunArbitraryTuned(l.Graph, l.coreLabeling(), source, cfg.Mu, cfg.tuning())
+	if err != nil {
+		return nil, err
+	}
+	completion := 0
+	for _, r := range out.MuKnownRound {
+		if r > completion {
+			completion = r
+		}
+	}
+	return &Outcome{
+		Result:             out.Result,
+		InformedRound:      out.MuKnownRound,
+		AllInformed:        out.AllKnowMu,
+		CompletionRound:    completion,
+		KnowsCompleteRound: out.KnowsCompleteRound,
+		TotalRounds:        out.TotalRounds,
+		T:                  out.T,
+		inner:              out,
+	}, nil
+}
+
+func (barbScheme) Verify(out *Outcome) error {
+	a, ok := out.inner.(*core.ArbOutcome)
+	if !ok {
+		return fmt.Errorf("radiobcast: outcome did not come from scheme barb")
+	}
+	return core.VerifyArbitrary(out.Graph, a, out.Mu)
+}
+
+// wrapCore lifts an internal λ-family labeling into the public shape.
+func wrapCore(scheme string, g *Graph, source int, l *core.Labeling) *Labeling {
+	return &Labeling{
+		Scheme: scheme,
+		Graph:  g,
+		Source: source,
+		Labels: l.Labels,
+		Stages: l.Stages,
+		Z:      l.Z,
+		R:      l.R,
+		core:   l,
+	}
+}

@@ -1,0 +1,74 @@
+package radiobcast
+
+import (
+	"fmt"
+
+	"radiobcast/internal/baseline"
+	"radiobcast/internal/onebit"
+)
+
+func init() {
+	Register(onebitScheme{})
+}
+
+// onebitScheme adapts the verified single-bit schemes of §5: a machine-
+// checked 1-bit labeling under the delayed-flooding protocol family. The
+// paper gives no general construction, so labeling is a search — exhaustive
+// over all 2^n labelings for small graphs, a seeded hill-climb otherwise —
+// and every labeling returned has been verified to complete broadcast by
+// exact simulation. Label fails with an error when no labeling is found
+// (one-bit broadcast is not universal).
+type onebitScheme struct{}
+
+// onebitExhaustiveMax bounds the exhaustive 2^n search (beyond it the
+// hill-climb takes over).
+const onebitExhaustiveMax = 14
+
+func (onebitScheme) Name() string { return "onebit" }
+func (onebitScheme) Describe() string {
+	return "verified 1-bit labeling (§5) under delayed flooding, found by search"
+}
+
+func (onebitScheme) Label(g *Graph, source int, cfg *Config) (*Labeling, error) {
+	tries := 4000
+	if cfg.Quick {
+		tries = 400
+	}
+	for _, d := range []baseline.FloodingDelays{baseline.DefaultDelays, baseline.GridDelays} {
+		var s *onebit.Scheme
+		var ok bool
+		if g.N() <= onebitExhaustiveMax {
+			s, ok = onebit.SearchExhaustive(g, d, source)
+		} else {
+			s, ok = onebit.SearchRandom(g, d, source, tries, cfg.Seed)
+		}
+		if ok {
+			return &Labeling{
+				Scheme: "onebit", Graph: g, Source: source,
+				Labels: s.Labels, Delays: s.Delays, Z: -1, R: -1,
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("radiobcast: no 1-bit labeling found for %v from source %d (one-bit broadcast is not universal)", g, source)
+}
+
+func (onebitScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, error) {
+	return baseline.NewFloodingProtocols(l.Labels, l.Delays, source, mu), nil
+}
+
+func (o onebitScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	ps, _ := o.Protocols(l, source, cfg.Mu)
+	maxRounds := baseline.FloodingMaxRounds(l.Graph.N())
+	out, _ := baseline.Observe(l.Graph, ps, source, maxRounds, l.Labels, cfg.tuning())
+	return baselineOutcome(out), nil
+}
+
+func (onebitScheme) Verify(out *Outcome) error {
+	if err := verifyComplete(out, "onebit"); err != nil {
+		return err
+	}
+	if bits := out.Labeling.Bits(); bits > 1 {
+		return fmt.Errorf("radiobcast: onebit labeling uses %d bits", bits)
+	}
+	return nil
+}
