@@ -110,8 +110,12 @@ func BenchmarkMinimalDomset(b *testing.B) {
 }
 
 // benchRunLabeled labels once and times repeated facade runs over that
-// labeling; check validates each outcome beyond AllInformed (may be nil).
+// labeling, reusing one Sim across iterations — the label-once/run-many
+// steady state; check validates each outcome beyond AllInformed (may be
+// nil).
 func benchRunLabeled(b *testing.B, scheme string, sizes []int, check func(*radiobcast.Outcome) error, opts ...radiobcast.Option) {
+	sim := radiobcast.NewSim()
+	opts = append(opts, radiobcast.WithSim(sim))
 	for _, fam := range benchFamilies {
 		for _, n := range sizes {
 			net := benchNet(b, fam, n)
@@ -287,6 +291,33 @@ func BenchmarkEngineParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSweep times the batched workload path: a families × sizes ×
+// schemes × fault-rates grid executed as one RunSweep job with shared
+// frozen graphs, shared labelings and per-worker reusable engines.
+func BenchmarkSweep(b *testing.B) {
+	spec := radiobcast.SweepSpec{
+		Families:   benchFamilies,
+		Sizes:      []int{64, 256},
+		Schemes:    []string{"b", "roundrobin", "centralized"},
+		FaultRates: []float64{0, 0.01},
+		Repeats:    2,
+		Workers:    4,
+		Mu:         "m",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		results, err := radiobcast.RunSweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range results {
+			if c.Err != nil {
+				b.Fatal(c.Err)
+			}
+		}
 	}
 }
 

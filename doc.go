@@ -17,14 +17,20 @@
 //
 // Label once and broadcast many times with LabelNetwork + RunLabeled;
 // tune runs with functional options (WithWorkers, WithMaxRounds,
-// WithTrace, WithFaults, WithQuick, WithSource, …); enumerate algorithms
-// with Schemes and plug in new ones with Register.
+// WithTrace, WithFaults, WithSim, WithDenseEngine, WithQuick, WithSource,
+// …); enumerate algorithms with Schemes and plug in new ones with
+// Register. RunSweep executes a whole families × sizes × schemes ×
+// sources × fault-rates grid as one batched job on a worker pool that
+// shares frozen graphs and labelings across cells and reuses one
+// simulation engine (Sim) per worker.
 //
 // The machinery lives under internal/:
 //
-//   - internal/graph, internal/nodeset: the network substrate;
-//   - internal/radio: the synchronous radio model of §1.1 with sequential
-//     and parallel engines;
+//   - internal/graph, internal/nodeset: the network substrate, with a
+//     frozen CSR form (Graph.Freeze) iterated by every hot path;
+//   - internal/radio: the synchronous radio model of §1.1 — one reusable
+//     engine with sparse-wakeup, dense and parallel modes, all
+//     bit-identical;
 //   - internal/domset: minimal dominating subsets (§2.1 step 4);
 //   - internal/core: the stage construction, the labeling schemes λ, λack,
 //     λarb and the universal algorithms B, Back, Barb;

@@ -22,10 +22,11 @@ import (
 // source on g. schedule[r-1] lists the transmitters of round r.
 func BuildSchedule(g *graph.Graph, source int) [][]int {
 	n := g.N()
+	csr := g.Freeze()
 	informed := nodeset.Of(n, source)
 	var schedule [][]int
 	for informed.Count() < n {
-		round := scheduleOneRound(g, informed)
+		round := scheduleOneRound(csr, informed)
 		if len(round) == 0 {
 			panic("baseline: centralized scheduler stalled (disconnected graph?)")
 		}
@@ -41,8 +42,8 @@ func BuildSchedule(g *graph.Graph, source int) [][]int {
 				continue
 			}
 			count := 0
-			for _, w := range g.Neighbors(v) {
-				if tx.Has(w) {
+			for _, w := range csr.Neighbors(v) {
+				if tx.Has(int(w)) {
 					count++
 				}
 			}
@@ -58,8 +59,8 @@ func BuildSchedule(g *graph.Graph, source int) [][]int {
 // nodes with uninformed neighbours, in decreasing coverage order; a
 // candidate joins if it strictly grows the set of listeners that hear
 // exactly one transmitter.
-func scheduleOneRound(g *graph.Graph, informed *nodeset.Set) []int {
-	n := g.N()
+func scheduleOneRound(csr *graph.CSR, informed *nodeset.Set) []int {
+	n := csr.N()
 	type cand struct {
 		v    int
 		gain int
@@ -67,8 +68,8 @@ func scheduleOneRound(g *graph.Graph, informed *nodeset.Set) []int {
 	var cands []cand
 	informed.ForEach(func(v int) {
 		gain := 0
-		for _, w := range g.Neighbors(v) {
-			if !informed.Has(w) {
+		for _, w := range csr.Neighbors(v) {
+			if !informed.Has(int(w)) {
 				gain++
 			}
 		}
@@ -90,8 +91,8 @@ func scheduleOneRound(g *graph.Graph, informed *nodeset.Set) []int {
 		// Would adding c create at least one newly exactly-one-covered
 		// node without destroying more coverage than it adds?
 		delta := 0
-		for _, w := range g.Neighbors(c.v) {
-			if informed.Has(w) {
+		for _, w := range csr.Neighbors(c.v) {
+			if informed.Has(int(w)) {
 				continue
 			}
 			switch hits[w] {
@@ -103,8 +104,8 @@ func scheduleOneRound(g *graph.Graph, informed *nodeset.Set) []int {
 		}
 		if delta > 0 {
 			chosen = append(chosen, c.v)
-			for _, w := range g.Neighbors(c.v) {
-				if !informed.Has(w) {
+			for _, w := range csr.Neighbors(c.v) {
+				if !informed.Has(int(w)) {
 					hits[w]++
 				}
 			}
@@ -126,18 +127,43 @@ func RunCentralizedTuned(g *graph.Graph, source int, mu string, tune *radio.Tuni
 	return RunScheduled(g, schedule, source, mu, tune)
 }
 
-// ScheduledProtocols turns a per-round transmitter schedule into Scripted
-// protocols (one per node) carrying message mu.
+// ScheduledProtocols turns a per-round transmitter schedule into compiled
+// Scripted protocols (one per node) carrying message mu. Per-node round
+// lists are carved out of one arena, so scripting a whole network costs a
+// constant number of allocations.
 func ScheduledProtocols(n int, schedule [][]int, mu string) []radio.Protocol {
-	ps := make([]radio.Protocol, n)
 	msg := radio.Message{Kind: radio.KindData, Payload: mu}
+	counts := make([]int, n)
+	total := 0
+	for _, txs := range schedule {
+		for _, v := range txs {
+			counts[v]++
+			total++
+		}
+	}
+	roundsArena := make([]int, total)
+	msgsArena := make([]radio.Message, total)
+	for i := range msgsArena {
+		msgsArena[i] = msg
+	}
+	perNode := make([][]int, n)
+	off := 0
 	for v := 0; v < n; v++ {
-		ps[v] = &radio.Scripted{Schedule: map[int]radio.Message{}}
+		perNode[v] = roundsArena[off : off : off+counts[v]]
+		off += counts[v]
 	}
 	for r, txs := range schedule {
 		for _, v := range txs {
-			ps[v].(*radio.Scripted).Schedule[r+1] = msg
+			perNode[v] = append(perNode[v], r+1)
 		}
+	}
+	scripts := make([]radio.Scripted, n)
+	ps := make([]radio.Protocol, n)
+	off = 0
+	for v := 0; v < n; v++ {
+		scripts[v] = radio.CompiledScript(perNode[v], msgsArena[off:off+counts[v]])
+		off += counts[v]
+		ps[v] = &scripts[v]
 	}
 	return ps
 }

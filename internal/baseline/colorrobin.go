@@ -68,15 +68,26 @@ func ColorRobinLabels(g *graph.Graph) ([]core.Label, int) {
 	return labels, num
 }
 
-// NewColorRobinProtocols builds one protocol per node.
+// NextWake implements radio.Waker: an informed node's next colour slot.
+func (p *ColorRobin) NextWake() int {
+	return slotWake(p.haveMsg, p.round, p.period, p.color)
+}
+
+// Skip implements radio.Waker.
+func (p *ColorRobin) Skip(rounds int) { p.round += rounds }
+
+// NewColorRobinProtocols builds one protocol per node, carved from one
+// bulk allocation.
 func NewColorRobinProtocols(labels []core.Label, source int, mu string) []radio.Protocol {
+	nodes := make([]ColorRobin, len(labels))
 	ps := make([]radio.Protocol, len(labels))
 	for v := range labels {
 		var src *string
 		if v == source {
 			src = &mu
 		}
-		ps[v] = NewColorRobin(labels[v], src)
+		nodes[v] = *NewColorRobin(labels[v], src)
+		ps[v] = &nodes[v]
 	}
 	return ps
 }

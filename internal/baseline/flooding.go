@@ -75,15 +75,34 @@ func (p *Flooding) Step(rcv *radio.Message) radio.Action {
 	}
 }
 
-// NewFloodingProtocols builds one protocol per node.
+// NextWake implements radio.Waker: the single delayed retransmission at
+// recvAt+delay (the source transmits at its first step, and round 1 is
+// always stepped).
+func (p *Flooding) NextWake() int {
+	if p.sent || !p.haveMsg || p.delay <= 0 {
+		return radio.NeverWake
+	}
+	if w := p.recvAt + p.delay; w > p.round {
+		return w
+	}
+	return radio.NeverWake
+}
+
+// Skip implements radio.Waker.
+func (p *Flooding) Skip(rounds int) { p.round += rounds }
+
+// NewFloodingProtocols builds one protocol per node, carved from one bulk
+// allocation.
 func NewFloodingProtocols(labels []core.Label, d FloodingDelays, source int, mu string) []radio.Protocol {
+	nodes := make([]Flooding, len(labels))
 	ps := make([]radio.Protocol, len(labels))
 	for v := range labels {
 		var src *string
 		if v == source {
 			src = &mu
 		}
-		ps[v] = NewFlooding(labels[v], d, src)
+		nodes[v] = *NewFlooding(labels[v], d, src)
+		ps[v] = &nodes[v]
 	}
 	return ps
 }

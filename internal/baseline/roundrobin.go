@@ -10,6 +10,7 @@ package baseline
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"radiobcast/internal/core"
 	"radiobcast/internal/graph"
@@ -91,15 +92,38 @@ func binaryLabel(v, w int) core.Label {
 	return core.Label(b)
 }
 
-// NewRoundRobinProtocols builds one protocol per node.
+// NextWake implements radio.Waker: an informed node's next own slot; an
+// uninformed node acts only after a reception.
+func (p *RoundRobin) NextWake() int {
+	return slotWake(p.haveMsg, p.round, p.period, p.id)
+}
+
+// Skip implements radio.Waker.
+func (p *RoundRobin) Skip(rounds int) { p.round += rounds }
+
+// slotWake returns the next round r > round with (r−1) mod period == slot,
+// or NeverWake for a node with nothing to transmit yet.
+func slotWake(haveMsg bool, round, period, slot int) int {
+	if !haveMsg {
+		return radio.NeverWake
+	}
+	next := round + 1
+	delta := (slot - (next-1)%period + period) % period
+	return next + delta
+}
+
+// NewRoundRobinProtocols builds one protocol per node, carved from one
+// bulk allocation.
 func NewRoundRobinProtocols(labels []core.Label, source int, mu string) []radio.Protocol {
+	nodes := make([]RoundRobin, len(labels))
 	ps := make([]radio.Protocol, len(labels))
 	for v := range labels {
 		var src *string
 		if v == source {
 			src = &mu
 		}
-		ps[v] = NewRoundRobin(labels[v], src)
+		nodes[v] = *NewRoundRobin(labels[v], src)
+		ps[v] = &nodes[v]
 	}
 	return ps
 }
@@ -140,15 +164,14 @@ type Outcome struct {
 func Observe(g *graph.Graph, ps []radio.Protocol, source, maxRounds int, labels []core.Label, tune *radio.Tuning) (*Outcome, error) {
 	n := g.N()
 	informed := make([]int, n)
+	// remaining counts the uninformed non-source nodes; observers decrement
+	// it atomically (they run inside the engine's phase-1 workers), making
+	// the stop predicate O(1) instead of an O(n) rescan every round.
+	remaining := int64(n - 1)
 	done := func(int) bool {
-		for v := 0; v < n; v++ {
-			if v != source && informed[v] == 0 {
-				return false
-			}
-		}
-		return true
+		return atomic.LoadInt64(&remaining) <= 0
 	}
-	res := radio.Run(g, wrapObservers(ps, informed), radio.Options{
+	res := radio.Run(g, wrapObservers(ps, informed, source, &remaining), radio.Options{
 		MaxRounds: maxRounds,
 		Stop:      done,
 	}.With(tune))
@@ -175,23 +198,63 @@ func Observe(g *graph.Graph, ps []radio.Protocol, source, maxRounds int, labels 
 
 // observer wraps a protocol to record the round of first data reception.
 type observer struct {
-	inner    radio.Protocol
-	informed *int
-	round    int
+	inner     radio.Protocol
+	informed  *int
+	remaining *int64 // decremented on first reception; nil at the source
+	round     int
 }
 
 func (o *observer) Step(rcv *radio.Message) radio.Action {
 	o.round++
 	if rcv != nil && rcv.Kind == radio.KindData && *o.informed == 0 {
 		*o.informed = o.round - 1
+		if o.remaining != nil {
+			atomic.AddInt64(o.remaining, -1)
+		}
 	}
 	return o.inner.Step(rcv)
 }
 
-func wrapObservers(ps []radio.Protocol, informed []int) []radio.Protocol {
+// wakerObserver additionally forwards the inner protocol's sparse-wakeup
+// contract, keeping its own round counter in sync through Skip. A skipped
+// round heard nothing, so no reception goes unrecorded.
+type wakerObserver struct {
+	observer
+	w radio.Waker
+}
+
+func (o *wakerObserver) NextWake() int { return o.w.NextWake() }
+
+func (o *wakerObserver) Skip(rounds int) {
+	o.round += rounds
+	o.w.Skip(rounds)
+}
+
+func wrapObservers(ps []radio.Protocol, informed []int, source int, remaining *int64) []radio.Protocol {
 	out := make([]radio.Protocol, len(ps))
+	wakers := 0
+	for _, p := range ps {
+		if _, ok := p.(radio.Waker); ok {
+			wakers++
+		}
+	}
+	wobs := make([]wakerObserver, wakers)
+	obs := make([]observer, len(ps)-wakers)
+	wi, oi := 0, 0
 	for v := range ps {
-		out[v] = &observer{inner: ps[v], informed: &informed[v]}
+		o := observer{inner: ps[v], informed: &informed[v]}
+		if v != source {
+			o.remaining = remaining
+		}
+		if w, ok := ps[v].(radio.Waker); ok {
+			wobs[wi] = wakerObserver{observer: o, w: w}
+			out[v] = &wobs[wi]
+			wi++
+		} else {
+			obs[oi] = o
+			out[v] = &obs[oi]
+			oi++
+		}
 	}
 	return out
 }

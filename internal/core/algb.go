@@ -106,16 +106,40 @@ func (a *AlgB) Step(rcv *radio.Message) radio.Action {
 	}
 }
 
+// NextWake implements radio.Waker. B is reactive: beyond the source's
+// opening transmission (round 1 is always stepped), a node acts only in
+// the two rounds after its first µ reception — the "stay" decision at
+// informedAt+1 and the retransmission decision at informedAt+2; the
+// lines 17-19 retransmission is triggered by a "stay" heard in the
+// previous round, which forces a step by itself.
+func (a *AlgB) NextWake() int {
+	if a.informedAt > 0 {
+		if w := a.informedAt + 1; w > a.round {
+			return w
+		}
+		if w := a.informedAt + 2; w > a.round {
+			return w
+		}
+	}
+	return radio.NeverWake
+}
+
+// Skip implements radio.Waker.
+func (a *AlgB) Skip(rounds int) { a.round += rounds }
+
 // NewBProtocols builds one AlgB instance per node for the given labeling
-// and source message.
+// and source message. The instances are carved from one bulk allocation,
+// so a label-once/run-many loop stays allocation-light.
 func NewBProtocols(labels []Label, source int, mu string) []radio.Protocol {
+	nodes := make([]AlgB, len(labels))
 	ps := make([]radio.Protocol, len(labels))
 	for v := range labels {
 		var src *string
 		if v == source {
 			src = &mu
 		}
-		ps[v] = NewAlgB(labels[v], src)
+		nodes[v] = *NewAlgB(labels[v], src)
+		ps[v] = &nodes[v]
 	}
 	return ps
 }

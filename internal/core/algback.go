@@ -21,15 +21,15 @@ type AlgBack struct {
 	haveMsg    bool
 	everActive bool
 
-	informedRound  int // timestamp of first µ reception (−1 = source/never)
-	firstRecv      int // local round of first µ reception (−1 = never)
-	lastDataTx     int // local round of last µ transmission (−1 = never)
-	lastDataTxTS   int // timestamp attached to that transmission
-	stayAt         int // local round of last "stay" reception (−1 = never)
-	stayTS         int
-	ackAt          int // local round of last "ack" reception (−1 = never)
-	ackTS          int
-	transmitRounds map[int]bool // timestamps of own µ transmissions
+	informedRound int // timestamp of first µ reception (−1 = source/never)
+	firstRecv     int // local round of first µ reception (−1 = never)
+	lastDataTx    int // local round of last µ transmission (−1 = never)
+	lastDataTxTS  int // timestamp attached to that transmission
+	stayAt        int // local round of last "stay" reception (−1 = never)
+	stayTS        int
+	ackAt         int // local round of last "ack" reception (−1 = never)
+	ackTS         int
+	transmitTS    []int // timestamps of own µ transmissions (few entries)
 
 	// AckDone reports, at the source, that an "ack" arrived; AckRound is
 	// the local round of that arrival (§3.2, Corollary 3.8).
@@ -40,13 +40,12 @@ type AlgBack struct {
 // NewAlgBack returns node state for algorithm Back with a 3-bit λack label.
 func NewAlgBack(label Label, sourceMsg *string) *AlgBack {
 	a := &AlgBack{
-		label:          label,
-		informedRound:  -1,
-		firstRecv:      -1,
-		lastDataTx:     -1,
-		stayAt:         -1,
-		ackAt:          -1,
-		transmitRounds: make(map[int]bool, 4),
+		label:         label,
+		informedRound: -1,
+		firstRecv:     -1,
+		lastDataTx:    -1,
+		stayAt:        -1,
+		ackAt:         -1,
 	}
 	if sourceMsg != nil {
 		a.isSource = true
@@ -108,7 +107,7 @@ func (a *AlgBack) Step(rcv *radio.Message) radio.Action {
 		a.everActive = true
 		a.lastDataTx = r
 		a.lastDataTxTS = 1
-		a.transmitRounds[1] = true
+		a.transmitTS = append(a.transmitTS, 1)
 		return radio.Send(radio.Message{Kind: radio.KindData, Payload: a.msg, TS: 1})
 
 	case !a.haveMsg:
@@ -120,7 +119,7 @@ func (a *AlgBack) Step(rcv *radio.Message) radio.Action {
 			ts := a.informedRound + 2
 			a.lastDataTx = r
 			a.lastDataTxTS = ts
-			a.transmitRounds[ts] = true
+			a.transmitTS = append(a.transmitTS, ts)
 			return radio.Send(radio.Message{Kind: radio.KindData, Payload: a.msg, TS: ts})
 		}
 		return radio.Listen
@@ -140,10 +139,10 @@ func (a *AlgBack) Step(rcv *radio.Message) radio.Action {
 		ts := a.stayTS + 1
 		a.lastDataTx = r
 		a.lastDataTxTS = ts
-		a.transmitRounds[ts] = true
+		a.transmitTS = append(a.transmitTS, ts)
 		return radio.Send(radio.Message{Kind: radio.KindData, Payload: a.msg, TS: ts})
 
-	case a.ackAt == r-1 && !a.isSource && a.transmitRounds[a.ackTS]:
+	case a.ackAt == r-1 && !a.isSource && a.sentWithTS(a.ackTS):
 		// lines 28-31: relay the ack with our own informedRound.
 		return radio.Send(radio.Message{Kind: radio.KindAck, TS: a.informedRound})
 
@@ -152,15 +151,49 @@ func (a *AlgBack) Step(rcv *radio.Message) radio.Action {
 	}
 }
 
-// NewBackProtocols builds one AlgBack instance per node.
+// sentWithTS reports whether the node transmitted µ with timestamp ts.
+func (a *AlgBack) sentWithTS(ts int) bool {
+	for _, t := range a.transmitTS {
+		if t == ts {
+			return true
+		}
+	}
+	return false
+}
+
+// NextWake implements radio.Waker. Like B, Back is reactive: beyond the
+// source's opening transmission (round 1 is always stepped), spontaneous
+// actions happen only in the two rounds after the first µ reception
+// (ack/stay at firstRecv+1, retransmission at firstRecv+2); the remaining
+// transmissions are triggered by a "stay" or "ack" heard one round
+// earlier, which forces a step by itself.
+func (a *AlgBack) NextWake() int {
+	if a.firstRecv > 0 {
+		if w := a.firstRecv + 1; w > a.round {
+			return w
+		}
+		if w := a.firstRecv + 2; w > a.round {
+			return w
+		}
+	}
+	return radio.NeverWake
+}
+
+// Skip implements radio.Waker.
+func (a *AlgBack) Skip(rounds int) { a.round += rounds }
+
+// NewBackProtocols builds one AlgBack instance per node, carved from one
+// bulk allocation.
 func NewBackProtocols(labels []Label, source int, mu string) []radio.Protocol {
+	nodes := make([]AlgBack, len(labels))
 	ps := make([]radio.Protocol, len(labels))
 	for v := range labels {
 		var src *string
 		if v == source {
 			src = &mu
 		}
-		ps[v] = NewAlgBack(labels[v], src)
+		nodes[v] = *NewAlgBack(labels[v], src)
+		ps[v] = &nodes[v]
 	}
 	return ps
 }

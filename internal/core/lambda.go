@@ -76,13 +76,13 @@ func labelsFromStages(st *Stages) (*Labeling, error) {
 // pickStaySender returns the smallest w ∈ NEW_i adjacent to v whose unique
 // DOM_i neighbour is v, or -1 if none exists.
 func pickStaySender(g *graph.Graph, stage Stage, v int) int {
-	for _, w := range g.Neighbors(v) {
-		if !stage.New.Has(w) {
+	for _, w := range g.Freeze().Neighbors(v) {
+		if !stage.New.Has(int(w)) {
 			continue
 		}
 		// w ∈ NEW_i has exactly one DOM_i neighbour; if w is adjacent to v,
 		// that neighbour is v.
-		return w
+		return int(w)
 	}
 	return -1
 }

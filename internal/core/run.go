@@ -60,7 +60,7 @@ func RunBroadcastTuned(g *graph.Graph, l *Labeling, source int, mu string, tune 
 		}
 		r := res.FirstReception(v, radio.KindData)
 		out.InformedRound[v] = r
-		if r == 0 {
+		if r == radio.NoReception {
 			out.AllInformed = false
 		}
 		if r > out.CompletionRound {
@@ -145,7 +145,7 @@ func RunAcknowledgedTuned(g *graph.Graph, l *Labeling, source int, mu string, tu
 		}
 		r := res.FirstReception(v, radio.KindData)
 		out.InformedRound[v] = r
-		if r == 0 {
+		if r == radio.NoReception {
 			out.AllInformed = false
 		}
 		if r > out.CompletionRound {

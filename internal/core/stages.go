@@ -69,11 +69,15 @@ func BuildStages(g *graph.Graph, source int, opt BuildOptions) (*Stages, error) 
 		panic(fmt.Sprintf("core: source %d out of range [0,%d)", source, n))
 	}
 	st := &Stages{G: g, Source: source, Restricted: opt.Restricted}
+	csr := g.Freeze()
 
 	inf := nodeset.Of(n, source)
 	uninf := nodeset.Full(n)
 	uninf.Remove(source)
-	frontier := g.NeighborSet(source).Clone()
+	frontier := nodeset.New(n)
+	for _, w := range csr.Neighbors(source) {
+		frontier.Add(int(w))
+	}
 	dom := nodeset.Of(n, source)
 	newSet := frontier.Clone()
 
@@ -138,10 +142,11 @@ func BuildStages(g *graph.Graph, source int, opt BuildOptions) (*Stages, error) 
 
 // restrictToUseful keeps candidates with at least one frontier neighbour.
 func restrictToUseful(g *graph.Graph, candidates, frontier *nodeset.Set) *nodeset.Set {
+	csr := g.Freeze()
 	kept := nodeset.New(g.N())
 	candidates.ForEach(func(c int) {
-		for _, w := range g.Neighbors(c) {
-			if frontier.Has(w) {
+		for _, w := range csr.Neighbors(c) {
+			if frontier.Has(int(w)) {
 				kept.Add(c)
 				return
 			}
@@ -153,11 +158,12 @@ func restrictToUseful(g *graph.Graph, candidates, frontier *nodeset.Set) *nodese
 // exactlyOneNeighbor returns the frontier nodes with exactly one neighbour
 // in dom (the definition of NEW_i).
 func exactlyOneNeighbor(g *graph.Graph, frontier, dom *nodeset.Set) *nodeset.Set {
+	csr := g.Freeze()
 	out := nodeset.New(g.N())
 	frontier.ForEach(func(v int) {
 		count := 0
-		for _, w := range g.Neighbors(v) {
-			if dom.Has(w) {
+		for _, w := range csr.Neighbors(v) {
+			if dom.Has(int(w)) {
 				count++
 				if count > 1 {
 					return

@@ -59,13 +59,14 @@ var Orders = []PruneOrder{Ascending, Descending, DegreeAsc, DegreeDesc}
 // do not dominate targets.
 func MinimalSubset(g *graph.Graph, candidates, targets *nodeset.Set, order PruneOrder) (*nodeset.Set, error) {
 	n := g.N()
+	csr := g.Freeze()
 	// cover[t] = number of kept candidates adjacent to target t.
 	cover := make([]int, n)
 	kept := nodeset.New(n)
 	candidates.ForEach(func(c int) {
 		useful := false
-		for _, w := range g.Neighbors(c) {
-			if targets.Has(w) {
+		for _, w := range csr.Neighbors(c) {
+			if targets.Has(int(w)) {
 				cover[w]++
 				useful = true
 			}
@@ -86,16 +87,16 @@ func MinimalSubset(g *graph.Graph, candidates, targets *nodeset.Set, order Prune
 
 	for _, c := range orderedElements(g, kept, order) {
 		removable := true
-		for _, w := range g.Neighbors(c) {
-			if targets.Has(w) && cover[w] == 1 {
+		for _, w := range csr.Neighbors(c) {
+			if targets.Has(int(w)) && cover[w] == 1 {
 				removable = false
 				break
 			}
 		}
 		if removable {
 			kept.Remove(c)
-			for _, w := range g.Neighbors(c) {
-				if targets.Has(w) {
+			for _, w := range csr.Neighbors(c) {
+				if targets.Has(int(w)) {
 					cover[w]--
 				}
 			}
@@ -126,14 +127,15 @@ func orderedElements(g *graph.Graph, s *nodeset.Set, order PruneOrder) []int {
 
 // Dominates reports whether every target has a neighbour in dom.
 func Dominates(g *graph.Graph, dom, targets *nodeset.Set) bool {
+	csr := g.Freeze()
 	ok := true
 	targets.ForEach(func(t int) {
 		if !ok {
 			return
 		}
 		found := false
-		for _, w := range g.Neighbors(t) {
-			if dom.Has(w) {
+		for _, w := range csr.Neighbors(t) {
+			if dom.Has(int(w)) {
 				found = true
 				break
 			}
@@ -167,19 +169,20 @@ func IsMinimal(g *graph.Graph, dom, targets *nodeset.Set) bool {
 // PrivateNeighbor returns a target adjacent to c and to no other member of
 // dom, or -1 if none exists.
 func PrivateNeighbor(g *graph.Graph, dom, targets *nodeset.Set, c int) int {
-	for _, w := range g.Neighbors(c) {
-		if !targets.Has(w) {
+	csr := g.Freeze()
+	for _, w := range csr.Neighbors(c) {
+		if !targets.Has(int(w)) {
 			continue
 		}
 		private := true
-		for _, x := range g.Neighbors(w) {
-			if x != c && dom.Has(x) {
+		for _, x := range csr.Neighbors(int(w)) {
+			if int(x) != c && dom.Has(int(x)) {
 				private = false
 				break
 			}
 		}
 		if private {
-			return w
+			return int(w)
 		}
 	}
 	return -1

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"radiobcast/internal/baseline"
+	"radiobcast"
 	"radiobcast/internal/core"
 	"radiobcast/internal/graph"
 	"radiobcast/internal/sweep"
@@ -16,6 +16,10 @@ import (
 // O(log Δ) bits and wins on time for bounded-degree graphs but its label
 // length blows up on stars/cliques; the centralized scheduler (full
 // topology knowledge, no labels) lower-bounds what schedules can do.
+//
+// The whole family × size × scheme grid runs as one radiobcast.RunSweep
+// job: frozen graphs and labelings are shared across cells and every
+// worker reuses one engine, so the quick path stays quick as sizes grow.
 func BaselinesExperiment(cfg Config) ([]*Table, error) {
 	t := &Table{
 		ID:    "BASE",
@@ -26,55 +30,38 @@ func BaselinesExperiment(cfg Config) ([]*Table, error) {
 			"λ bits", "λ rounds", "RR bits", "RR rounds",
 			"color bits", "color rounds", "central rounds"},
 	}
-	type row struct {
-		fam                string
-		n, maxDeg, ecc     int
-		lamRounds          int
-		rrBits, rrRounds   int
-		colBits, colRounds int
-		centralRounds      int
-		err                error
-	}
-	rows := sweep.Map(familyGrid(cfg), cfg.Workers, func(c familyCase) row {
-		g := graph.Families[c.Family](c.N)
-		n := g.N()
-		if n < 2 {
-			return row{fam: c.Family, n: n}
-		}
-		lam, err := core.RunBroadcast(g, 0, "m", core.BuildOptions{})
-		if err != nil {
-			return row{fam: c.Family, n: n, err: err}
-		}
-		rr, err := baseline.RunRoundRobin(g, 0, "m")
-		if err != nil {
-			return row{fam: c.Family, n: n, err: err}
-		}
-		col, err := baseline.RunColorRobin(g, 0, "m")
-		if err != nil {
-			return row{fam: c.Family, n: n, err: err}
-		}
-		cen, err := baseline.RunCentralized(g, 0, "m")
-		if err != nil {
-			return row{fam: c.Family, n: n, err: err}
-		}
-		return row{
-			fam: c.Family, n: n, maxDeg: g.MaxDegree(), ecc: g.Eccentricity(0),
-			lamRounds: lam.CompletionRound,
-			rrBits:    rr.LabelBits, rrRounds: rr.CompletionRound,
-			colBits: col.LabelBits, colRounds: col.CompletionRound,
-			centralRounds: cen.CompletionRound,
-		}
+	schemes := []string{"b", "roundrobin", "colorrobin", "centralized"}
+	results, err := radiobcast.RunSweep(radiobcast.SweepSpec{
+		Families: graph.FamilyNames(),
+		Sizes:    cfg.Sizes(),
+		Schemes:  schemes,
+		Mu:       "m",
+		Workers:  cfg.Workers,
 	})
-	for _, r := range rows {
-		if r.err != nil {
-			return nil, fmt.Errorf("%s n=%d: %w", r.fam, r.n, r.err)
-		}
-		if r.n < 2 {
+	if err != nil {
+		return nil, err
+	}
+	// Grid order groups the per-(family, size) cells into scheme-order
+	// chunks; assemble one table row per chunk.
+	for i := 0; i < len(results); i += len(schemes) {
+		chunk := results[i : i+len(schemes)]
+		if chunk[0].N < 2 {
 			continue
 		}
-		t.AddRow(r.fam, r.n, r.maxDeg, r.ecc,
-			2, r.lamRounds, r.rrBits, r.rrRounds,
-			r.colBits, r.colRounds, r.centralRounds)
+		cells := make(map[string]radiobcast.CellResult, len(schemes))
+		for _, c := range chunk {
+			if c.Err != nil {
+				return nil, fmt.Errorf("%s: %w", c.Cell, c.Err)
+			}
+			cells[c.Cell.Scheme] = c
+		}
+		lam, rr, col, cen := cells["b"], cells["roundrobin"], cells["colorrobin"], cells["centralized"]
+		g := lam.Outcome.Graph
+		t.AddRow(lam.Cell.Family, lam.N, g.MaxDegree(), g.Eccentricity(0),
+			core.MaxLen(lam.Outcome.Labeling.Labels), lam.Outcome.CompletionRound,
+			rr.Outcome.Labeling.Bits(), rr.Outcome.CompletionRound,
+			col.Outcome.Labeling.Bits(), col.Outcome.CompletionRound,
+			cen.Outcome.CompletionRound)
 	}
 	return []*Table{t}, nil
 }

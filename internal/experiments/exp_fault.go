@@ -69,7 +69,7 @@ func FaultExperiment(cfg Config) ([]*Table, error) {
 			})
 			informed := true
 			for v := 0; v < g.N(); v++ {
-				if v != 0 && res.FirstReception(v, radio.KindData) == 0 {
+				if v != 0 && res.FirstReception(v, radio.KindData) == radio.NoReception {
 					informed = false
 					break
 				}

@@ -1,0 +1,58 @@
+package graph
+
+// CSR is the frozen compressed-sparse-row form of a Graph: the adjacency
+// of node v is Targets[Offsets[v]:Offsets[v+1]], in ascending order. The
+// two flat int32 arrays replace the pointer-chased [][]int adjacency on
+// every hot path (the radio engine's channel resolution, the §2.1 stage
+// construction, dominating-set pruning, the centralized scheduler), so a
+// run touches two contiguous allocations instead of n+1 and the per-node
+// indirection disappears.
+//
+// A CSR is immutable. Obtain one with Graph.Freeze.
+type CSR struct {
+	// Offsets has n+1 entries; node v's adjacency starts at Offsets[v].
+	Offsets []int32
+	// Targets concatenates all adjacency lists (2m entries).
+	Targets []int32
+}
+
+// Freeze returns the CSR form of g, building it on first use and caching
+// it until the next AddEdge. Freezing is idempotent and cheap after the
+// first call, so callers on hot paths just call Freeze every time.
+//
+// The cache write is not synchronised: when a graph is shared across
+// goroutines (the Sweep worker pool, parallel labelings), call Freeze once
+// before handing the graph out; afterwards all uses are read-only.
+func (g *Graph) Freeze() *CSR {
+	if g.csr != nil {
+		return g.csr
+	}
+	offsets := make([]int32, g.n+1)
+	targets := make([]int32, 0, 2*g.m)
+	for v := 0; v < g.n; v++ {
+		offsets[v] = int32(len(targets))
+		for _, w := range g.adj[v] {
+			targets = append(targets, int32(w))
+		}
+	}
+	offsets[g.n] = int32(len(targets))
+	g.csr = &CSR{Offsets: offsets, Targets: targets}
+	return g.csr
+}
+
+// N returns the number of nodes.
+func (c *CSR) N() int { return len(c.Offsets) - 1 }
+
+// M returns the number of edges.
+func (c *CSR) M() int { return len(c.Targets) / 2 }
+
+// Neighbors returns v's adjacency in ascending order as a sub-slice of
+// Targets. The slice is owned by the CSR and must not be modified.
+func (c *CSR) Neighbors(v int) []int32 {
+	return c.Targets[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// Degree returns the degree of v.
+func (c *CSR) Degree(v int) int {
+	return int(c.Offsets[v+1] - c.Offsets[v])
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFreezeMatchesAdjacency(t *testing.T) {
+	for _, g := range []*Graph{
+		New(0), New(1), Path(7), Cycle(9), Grid(4, 4), Star(6),
+		GNPConnected(40, 0.15, 3),
+	} {
+		csr := g.Freeze()
+		if csr.N() != g.N() || csr.M() != g.M() {
+			t.Fatalf("%v: CSR has n=%d m=%d", g, csr.N(), csr.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			want := g.Neighbors(v)
+			got := csr.Neighbors(v)
+			if len(got) != len(want) || csr.Degree(v) != g.Degree(v) {
+				t.Fatalf("%v node %d: CSR degree %d, graph degree %d", g, v, len(got), len(want))
+			}
+			for i, w := range got {
+				if int(w) != want[i] {
+					t.Fatalf("%v node %d: CSR neighbours %v, want %v", g, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFreezeCachedAndInvalidated(t *testing.T) {
+	g := Path(5)
+	c1 := g.Freeze()
+	if c2 := g.Freeze(); c2 != c1 {
+		t.Fatal("Freeze rebuilt the CSR without a mutation")
+	}
+	g.AddEdge(0, 4)
+	c3 := g.Freeze()
+	if c3 == c1 {
+		t.Fatal("Freeze returned a stale CSR after AddEdge")
+	}
+	if got := c3.Neighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("refrozen neighbours of 0 = %v, want [1 4]", got)
+	}
+	// Re-adding an existing edge is a no-op and must keep the cache.
+	c4 := g.Freeze()
+	g.AddEdge(0, 4)
+	if g.Freeze() != c4 {
+		t.Fatal("no-op AddEdge invalidated the CSR cache")
+	}
+}
+
+func TestFreezeOffsetsShape(t *testing.T) {
+	g := Grid(3, 3)
+	csr := g.Freeze()
+	if len(csr.Offsets) != g.N()+1 {
+		t.Fatalf("offsets length %d, want %d", len(csr.Offsets), g.N()+1)
+	}
+	if int(csr.Offsets[g.N()]) != 2*g.M() || len(csr.Targets) != 2*g.M() {
+		t.Fatalf("targets length %d, final offset %d, want %d", len(csr.Targets), csr.Offsets[g.N()], 2*g.M())
+	}
+	if !reflect.DeepEqual(g.Freeze(), csr) {
+		t.Fatal("cached CSR differs")
+	}
+}

@@ -22,6 +22,7 @@ type Graph struct {
 	adj  [][]int
 	m    int
 	sets []*nodeset.Set // lazily built adjacency bitsets for O(1) HasEdge
+	csr  *CSR           // lazily built frozen form (see Freeze)
 }
 
 // New returns an edgeless graph with n nodes.
@@ -58,7 +59,8 @@ func (g *Graph) AddEdge(u, v int) {
 	g.insert(u, v)
 	g.insert(v, u)
 	g.m++
-	g.sets = nil // invalidate cache
+	g.sets = nil // invalidate caches
+	g.csr = nil
 }
 
 func (g *Graph) insert(u, v int) {
@@ -146,10 +148,11 @@ func (g *Graph) NeighborSet(v int) *nodeset.Set {
 // Neighborhood returns Γ(X): the set of nodes adjacent to at least one
 // member of X (the paper's Γ; note Γ(X) may intersect X).
 func (g *Graph) Neighborhood(x *nodeset.Set) *nodeset.Set {
+	csr := g.Freeze()
 	out := nodeset.New(g.n)
 	x.ForEach(func(v int) {
-		for _, w := range g.adj[v] {
-			out.Add(w)
+		for _, w := range csr.Neighbors(v) {
+			out.Add(int(w))
 		}
 	})
 	return out

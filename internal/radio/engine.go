@@ -1,8 +1,6 @@
 package radio
 
 import (
-	"fmt"
-	"runtime"
 	"sync"
 
 	"radiobcast/internal/graph"
@@ -41,6 +39,19 @@ type Options struct {
 	// itself believes it transmitted. Used by the FAULT experiment to
 	// measure how much the paper's schedule relies on lossless delivery.
 	Drop func(node, round int) bool
+
+	// Sim, when non-nil, is the reusable engine to run on: callers in a
+	// label-once/run-many loop pass the same Sim every time and amortise
+	// all per-run buffers. When nil, Run borrows a Sim from an internal
+	// pool. See Sim.
+	Sim *Sim
+
+	// DisableSparse forces the dense reference engine: every node is
+	// stepped every round and the channel is resolved listener by
+	// listener, ignoring any Waker implementations. Results are
+	// bit-identical either way; this knob exists for differential tests
+	// and benchmarking the sparse-wakeup fast path.
+	DisableSparse bool
 }
 
 // Reception records one successful message delivery.
@@ -68,15 +79,22 @@ type Result struct {
 	SilentStopped bool
 }
 
-// FirstReception returns the round in which node v first successfully
-// received a message of the given kind, or 0 if it never did.
+// NoReception is the sentinel returned by FirstReception for a node that
+// never received a matching message. Engine rounds are 1-based — every
+// real reception happens in a round ≥ 1 — so the zero value is
+// unambiguous.
+const NoReception = 0
+
+// FirstReception returns the 1-based round in which node v first
+// successfully received a message of the given kind, or NoReception if it
+// never did.
 func (r *Result) FirstReception(v int, kind Kind) int {
 	for _, rec := range r.Receives[v] {
 		if rec.Msg.Kind == kind {
 			return rec.Round
 		}
 	}
-	return 0
+	return NoReception
 }
 
 // TransmissionsPerNode returns the per-node transmission counts.
@@ -100,166 +118,22 @@ func (r *Result) MaxTransmissionsPerNode() int {
 	return m
 }
 
+var simPool = sync.Pool{New: func() any { return new(Sim) }}
+
 // Run executes the protocols on g under the radio model and returns the
 // observed result. protos[v] is node v's state machine; len(protos) must
 // equal g.N(). Each Protocol must be a fresh instance: Run drives it from
 // round 1.
+//
+// Run borrows a reusable Sim from an internal pool unless opt.Sim is set;
+// the returned Result is always detached and stays valid indefinitely.
 func Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
-	n := g.N()
-	if len(protos) != n {
-		panic(fmt.Sprintf("radio: %d protocols for %d nodes", len(protos), n))
+	if opt.Sim != nil {
+		return opt.Sim.Run(g, protos, opt)
 	}
-	if opt.MaxRounds <= 0 {
-		panic("radio: Options.MaxRounds must be positive")
-	}
-	workers := opt.Workers
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-
-	res := &Result{
-		Transmits:  make([][]int, n),
-		Receives:   make([][]Reception, n),
-		Collisions: make([]int, n),
-	}
-	heard := make([]*Message, n) // message heard in the previous round
-	busy := make([]bool, n)      // ≥1 neighbour transmitted (collision detection)
-	actions := make([]Action, n) // this round's decisions
-	dropped := make([]bool, n)   // fault-injected transmissions this round
-	nextHeard := make([]*Message, n)
-	nextBusy := make([]bool, n)
-
-	// Collision-detection protocols get the busy flag via StepNoise.
-	noise := make([]NoiseProtocol, n)
-	for v, p := range protos {
-		if np, ok := p.(NoiseProtocol); ok {
-			noise[v] = np
-		}
-	}
-	step := func(v int) Action {
-		if noise[v] != nil {
-			return noise[v].StepNoise(heard[v], busy[v])
-		}
-		return protos[v].Step(heard[v])
-	}
-
-	silent := 0
-	for round := 1; round <= opt.MaxRounds; round++ {
-		// Phase 1: every node decides based on history through round-1.
-		if workers > 1 {
-			parallelRange(n, workers, func(lo, hi int) {
-				for v := lo; v < hi; v++ {
-					actions[v] = step(v)
-				}
-			})
-		} else {
-			for v := 0; v < n; v++ {
-				actions[v] = step(v)
-			}
-		}
-
-		// Phase 2: resolve the channel at each listener.
-		// Apply fault injection before resolving the channel.
-		if opt.Drop != nil {
-			for v := 0; v < n; v++ {
-				dropped[v] = actions[v].Transmit && opt.Drop(v, round)
-			}
-		}
-		transmitted := 0
-		if workers > 1 {
-			counts := make([]int, workers)
-			parallelRangeIdx(n, workers, func(w, lo, hi int) {
-				for v := lo; v < hi; v++ {
-					counts[w] += resolve(g, v, actions, dropped, nextHeard, nextBusy, res)
-				}
-			})
-			for _, c := range counts {
-				transmitted += c
-			}
-		} else {
-			for v := 0; v < n; v++ {
-				transmitted += resolve(g, v, actions, dropped, nextHeard, nextBusy, res)
-			}
-		}
-
-		// Phase 3: sequential bookkeeping (kept out of the parallel section
-		// so results are bit-identical across engine modes).
-		for v := 0; v < n; v++ {
-			if actions[v].Transmit {
-				res.Transmits[v] = append(res.Transmits[v], round)
-				if b := actions[v].Msg.BitLen(); b > res.MaxMessageBits {
-					res.MaxMessageBits = b
-				}
-			}
-			if nextHeard[v] != nil {
-				res.Receives[v] = append(res.Receives[v], Reception{Round: round, Msg: *nextHeard[v]})
-			}
-		}
-		res.TotalTransmissions += transmitted
-		if opt.Trace != nil {
-			opt.Trace.record(round, actions, nextHeard)
-		}
-
-		heard, nextHeard = nextHeard, heard
-		busy, nextBusy = nextBusy, busy
-		for v := range nextHeard {
-			nextHeard[v] = nil
-			nextBusy[v] = false
-		}
-		res.Rounds = round
-
-		if transmitted == 0 {
-			silent++
-		} else {
-			silent = 0
-		}
-		if opt.Stop != nil && opt.Stop(round) {
-			break
-		}
-		if opt.StopAfterSilent > 0 && silent >= opt.StopAfterSilent {
-			res.SilentStopped = true
-			break
-		}
-	}
-	return res
-}
-
-// resolve computes what node v hears in this round and returns 1 if v
-// transmitted (for the transmission count).
-func resolve(g *graph.Graph, v int, actions []Action, dropped []bool, nextHeard []*Message, nextBusy []bool, res *Result) int {
-	if actions[v].Transmit {
-		// A transmitting node hears nothing this round (and detects no
-		// noise even in the collision-detection variant).
-		nextHeard[v] = nil
-		nextBusy[v] = false
-		return 1
-	}
-	var heardMsg *Message
-	count := 0
-	for _, w := range g.Neighbors(v) {
-		if actions[w].Transmit && !dropped[w] {
-			count++
-			if count > 1 {
-				break
-			}
-			heardMsg = &actions[w].Msg
-		}
-	}
-	nextBusy[v] = count >= 1
-	switch {
-	case count == 1:
-		m := *heardMsg // copy: the action buffer is reused next round
-		nextHeard[v] = &m
-	case count > 1:
-		res.Collisions[v]++ // safe in parallel mode: each v is resolved by one worker
-		nextHeard[v] = nil
-	default:
-		nextHeard[v] = nil
-	}
-	return 0
+	s := simPool.Get().(*Sim)
+	defer simPool.Put(s)
+	return s.Run(g, protos, opt)
 }
 
 // parallelRange splits [0, n) into contiguous chunks and runs f on each.

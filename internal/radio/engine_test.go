@@ -226,6 +226,7 @@ func resultsEqual(a, b *Result) bool {
 	return a.Rounds == b.Rounds &&
 		a.TotalTransmissions == b.TotalTransmissions &&
 		a.MaxMessageBits == b.MaxMessageBits &&
+		a.SilentStopped == b.SilentStopped &&
 		reflect.DeepEqual(a.Transmits, b.Transmits) &&
 		reflect.DeepEqual(a.Receives, b.Receives) &&
 		reflect.DeepEqual(a.Collisions, b.Collisions)

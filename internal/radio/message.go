@@ -103,12 +103,18 @@ var Listen = Action{}
 func Send(msg Message) Action { return Action{Transmit: true, Msg: msg} }
 
 // Protocol is the deterministic state machine run at each node. Step is
-// called exactly once per round r = 1, 2, ...; received is the message the
-// node heard in round r−1, or nil for round 1, for silence, for collision,
-// or if the node itself transmitted in round r−1 (all indistinguishable in
+// called once per round r = 1, 2, ...; received is the message the node
+// heard in round r−1, or nil for round 1, for silence, for collision, or
+// if the node itself transmitted in round r−1 (all indistinguishable in
 // the model). The returned action applies to round r. Implementations must
 // base decisions only on their label and message history — never on the
 // topology — to qualify as universal algorithms in the paper's sense.
+//
+// received points into an engine-owned buffer: it is valid only for the
+// duration of the Step call, so implementations copy out what they keep
+// (copying the Message value is enough). Protocols may additionally
+// implement Waker, in which case the engine may replace runs of
+// guaranteed-silent Step calls with one Skip call (see Waker).
 type Protocol interface {
 	Step(received *Message) Action
 }

@@ -1,0 +1,461 @@
+package radio
+
+import (
+	"fmt"
+	"runtime"
+
+	"radiobcast/internal/graph"
+)
+
+// Waker is an optional Protocol extension for schedule-driven protocols
+// (B, Back, the slotted baselines, scripted schedules): it lets the engine
+// skip the Step call for nodes that provably cannot act in a round.
+//
+// The engine guarantees a Step call in every round r in which the node
+// heard a message in round r−1 (or, for a NoiseProtocol, detected noise),
+// and in every round ≥ the round most recently returned by NextWake. It
+// may skip Step in any other round; before the next real Step it reports
+// the number of skipped rounds through Skip, so the protocol's internal
+// round counter stays in sync. A skipped round is externally identical to
+// a Step that returned Listen — the sparse and dense engines produce
+// bit-identical Results (pinned by TestSparseMatchesDense and the facade
+// matrix tests).
+type Waker interface {
+	// NextWake returns the absolute 1-based round number of the next round
+	// in which the protocol might return a non-Listen action — or otherwise
+	// needs to observe the passage of time — assuming it hears neither a
+	// message nor noise in any intervening round. Returning NeverWake means
+	// the protocol stays passive until its next reception. Returning a
+	// round ≤ the current one is safe and simply disables skipping.
+	NextWake() int
+	// Skip informs the protocol that `rounds` rounds elapsed in which it
+	// was not stepped. Implementations advance their internal round counter
+	// by that amount, exactly as if Step had been called with nil and had
+	// returned Listen each time.
+	Skip(rounds int)
+}
+
+// NeverWake is returned by NextWake when the protocol has no scheduled
+// future action: it will stay silent until it next hears something.
+const NeverWake = 0
+
+// Sim is a reusable simulation engine. It owns every per-run buffer —
+// heard/busy channel state, the per-round action and fault vectors, and
+// the flat transmit/receive accumulators — and resizes rather than
+// reallocates them between runs, so driving many runs through one Sim
+// (the label-once/run-many regime of the paper and the Sweep workloads)
+// does only a constant number of small allocations per run regardless of
+// graph size.
+//
+// A Sim may be used for any sequence of runs over graphs of any sizes,
+// but a single Sim must not run concurrently with itself. The zero value
+// is ready to use. Run detaches the returned Result from the Sim's
+// buffers: Results remain valid after later runs.
+type Sim struct {
+	n   int
+	cur int // index of the "current" half of the double buffers
+
+	protos []Protocol
+	noise  []NoiseProtocol
+	wakers []Waker
+
+	actions []Action
+	dropped []bool
+
+	// Double-buffered channel state: what each node heard in the previous
+	// round (msgs entry valid iff sets entry) and whether ≥ 1 neighbour
+	// transmitted (busys, for collision-detection protocols).
+	msgs    [2][]Message
+	sets    [2][]bool
+	busys   [2][]bool
+	touched [2][]int32 // entries dirtied in each half, for sparse clearing
+
+	// Sparse-wakeup state.
+	nextWake []int
+	skipped  []int
+	txList   []int32
+
+	// Push-resolution scratch.
+	deliverCnt []int32 // zeroed outside resolvePush/materialize
+	scatter    []int32
+
+	collisions []int
+	counts     []int // per-worker transmission tallies (parallel engine)
+
+	// Flat event logs, materialized into Result at the end of a run.
+	txNodes  []int32
+	txRounds []int32
+	rxNodes  []int32
+	rxRecs   []Reception
+
+	maxBits int
+}
+
+// NewSim returns an empty Sim ready for its first Run.
+func NewSim() *Sim { return &Sim{} }
+
+// grow returns buf with length n, reusing its backing array when large
+// enough; the returned slice is zeroed either way.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+func (s *Sim) reset(n, workers int, protos []Protocol) {
+	s.n = n
+	s.cur = 0
+	s.protos = protos
+	s.noise = grow(s.noise, n)
+	s.wakers = grow(s.wakers, n)
+	for v, p := range protos {
+		if np, ok := p.(NoiseProtocol); ok {
+			s.noise[v] = np
+		}
+		if w, ok := p.(Waker); ok {
+			s.wakers[v] = w
+		}
+	}
+	s.actions = grow(s.actions, n)
+	s.dropped = grow(s.dropped, n)
+	for i := 0; i < 2; i++ {
+		s.msgs[i] = grow(s.msgs[i], n)
+		s.sets[i] = grow(s.sets[i], n)
+		s.busys[i] = grow(s.busys[i], n)
+		s.touched[i] = s.touched[i][:0]
+	}
+	s.nextWake = grow(s.nextWake, n)
+	for v := range s.nextWake {
+		s.nextWake[v] = 1 // every node is stepped in round 1
+	}
+	s.skipped = grow(s.skipped, n)
+	s.txList = s.txList[:0]
+	s.deliverCnt = grow(s.deliverCnt, n)
+	s.scatter = s.scatter[:0]
+	s.collisions = grow(s.collisions, n)
+	if workers < 1 {
+		workers = 1
+	}
+	s.counts = grow(s.counts, workers)
+	s.txNodes = s.txNodes[:0]
+	s.txRounds = s.txRounds[:0]
+	s.rxNodes = s.rxNodes[:0]
+	s.rxRecs = s.rxRecs[:0]
+	s.maxBits = 0
+}
+
+// Run executes the protocols on g under the radio model (see Run at
+// package level for the semantics; this is the same engine with explicit
+// buffer ownership).
+func (s *Sim) Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
+	n := g.N()
+	if len(protos) != n {
+		panic(fmt.Sprintf("radio: %d protocols for %d nodes", len(protos), n))
+	}
+	if opt.MaxRounds <= 0 {
+		panic("radio: Options.MaxRounds must be positive")
+	}
+	workers := opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	csr := g.Freeze()
+	s.reset(n, workers, protos)
+
+	sparse := !opt.DisableSparse
+	push := sparse && workers <= 1 // push-based channel resolution
+
+	silent := 0
+	rounds := 0
+	total := 0
+	silentStopped := false
+	for round := 1; round <= opt.MaxRounds; round++ {
+		nx := 1 - s.cur
+
+		// Phase 1: every node decides based on history through round−1.
+		if push {
+			s.txList = s.txList[:0]
+		}
+		if workers > 1 {
+			parallelRange(n, workers, func(lo, hi int) {
+				s.decide(round, sparse, push, lo, hi)
+			})
+		} else {
+			s.decide(round, sparse, push, 0, n)
+		}
+
+		// Phase 2+3: resolve the channel at each listener and log events.
+		var transmitted int
+		if push {
+			transmitted = s.resolvePush(csr, round, opt.Drop)
+		} else {
+			if opt.Drop != nil {
+				for v := 0; v < n; v++ {
+					s.dropped[v] = s.actions[v].Transmit && opt.Drop(v, round)
+				}
+			}
+			if workers > 1 {
+				parallelRangeIdx(n, workers, func(w, lo, hi int) {
+					c := 0
+					for v := lo; v < hi; v++ {
+						c += s.resolvePull(csr, v)
+					}
+					s.counts[w] = c
+				})
+				for w := 0; w < workers; w++ {
+					transmitted += s.counts[w]
+				}
+			} else {
+				for v := 0; v < n; v++ {
+					transmitted += s.resolvePull(csr, v)
+				}
+			}
+			// Bookkeeping is kept out of the parallel section so results
+			// are bit-identical across engine modes.
+			for v := 0; v < n; v++ {
+				if s.actions[v].Transmit {
+					s.logTransmit(int32(v), round)
+				}
+				if s.sets[nx][v] {
+					s.rxNodes = append(s.rxNodes, int32(v))
+					s.rxRecs = append(s.rxRecs, Reception{Round: round, Msg: s.msgs[nx][v]})
+				}
+			}
+		}
+		total += transmitted
+		if opt.Trace != nil {
+			opt.Trace.record(round, s.actions, s.msgs[nx], s.sets[nx])
+		}
+
+		s.cur = nx
+		rounds = round
+		if transmitted == 0 {
+			silent++
+		} else {
+			silent = 0
+		}
+		if opt.Stop != nil && opt.Stop(round) {
+			break
+		}
+		if opt.StopAfterSilent > 0 && silent >= opt.StopAfterSilent {
+			silentStopped = true
+			break
+		}
+	}
+	res := s.materialize(rounds, total, silentStopped)
+	s.release()
+	return res
+}
+
+// release drops every reference the buffers hold into caller objects
+// (protocols, message payloads) once the run is over, so an idle Sim —
+// pooled or caller-owned — does not keep the last network's protocol
+// state and payload strings live. The int/bool buffers are kept as is;
+// reset re-clears everything on the next run.
+func (s *Sim) release() {
+	s.protos = nil
+	clear(s.noise)
+	clear(s.wakers)
+	clear(s.actions)
+	for i := 0; i < 2; i++ {
+		clear(s.msgs[i])
+	}
+	clear(s.rxRecs)
+}
+
+// decide runs Phase 1 for nodes [lo, hi): skip provably idle Waker nodes
+// (sparse mode), step everyone else. collectTx additionally gathers the
+// round's transmitters for push-based resolution.
+func (s *Sim) decide(round int, sparse, collectTx bool, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		if w := s.wakers[v]; sparse && w != nil {
+			heardSomething := s.sets[s.cur][v] || (s.noise[v] != nil && s.busys[s.cur][v])
+			if !heardSomething && (s.nextWake[v] == NeverWake || round < s.nextWake[v]) {
+				if s.actions[v].Transmit {
+					s.actions[v] = Listen
+				}
+				s.skipped[v]++
+				continue
+			}
+			if s.skipped[v] > 0 {
+				w.Skip(s.skipped[v])
+				s.skipped[v] = 0
+			}
+			s.actions[v] = s.stepNode(v)
+			s.nextWake[v] = w.NextWake()
+		} else {
+			s.actions[v] = s.stepNode(v)
+		}
+		if collectTx && s.actions[v].Transmit {
+			s.txList = append(s.txList, int32(v))
+		}
+	}
+}
+
+// stepNode invokes one protocol step. The received-message pointer aliases
+// the Sim's buffer; Protocol implementations must not retain it beyond the
+// call (see Protocol).
+func (s *Sim) stepNode(v int) Action {
+	var rcv *Message
+	if s.sets[s.cur][v] {
+		rcv = &s.msgs[s.cur][v]
+	}
+	if np := s.noise[v]; np != nil {
+		return np.StepNoise(rcv, s.busys[s.cur][v])
+	}
+	return s.protos[v].Step(rcv)
+}
+
+func (s *Sim) logTransmit(v int32, round int) {
+	s.txNodes = append(s.txNodes, v)
+	s.txRounds = append(s.txRounds, int32(round))
+	if b := s.actions[v].Msg.BitLen(); b > s.maxBits {
+		s.maxBits = b
+	}
+}
+
+// resolvePush computes deliveries by scattering from this round's
+// transmitters to their neighbourhoods: O(Σ deg(transmitter)) instead of
+// O(Σ deg(listener)) per round, the complement of the sparse-wakeup
+// stepping skip. Semantics are identical to resolvePull.
+func (s *Sim) resolvePush(csr *graph.CSR, round int, drop func(node, round int) bool) int {
+	nx := 1 - s.cur
+	// Clear only the entries dirtied when this buffer half was last written.
+	for _, w := range s.touched[nx] {
+		s.msgs[nx][w] = Message{}
+		s.sets[nx][w] = false
+		s.busys[nx][w] = false
+	}
+	s.touched[nx] = s.touched[nx][:0]
+
+	for _, t32 := range s.txList {
+		t := int(t32)
+		s.logTransmit(t32, round)
+		if drop != nil && drop(t, round) {
+			continue // jammed: v believes it transmitted, nobody hears it
+		}
+		for _, w := range csr.Neighbors(t) {
+			if s.deliverCnt[w] == 0 {
+				s.scatter = append(s.scatter, w)
+				s.msgs[nx][w] = s.actions[t].Msg
+			}
+			s.deliverCnt[w]++
+		}
+	}
+	for _, w32 := range s.scatter {
+		w := int(w32)
+		cnt := s.deliverCnt[w]
+		s.deliverCnt[w] = 0
+		s.touched[nx] = append(s.touched[nx], w32)
+		if s.actions[w].Transmit {
+			continue // a transmitter hears nothing and detects no noise
+		}
+		s.busys[nx][w] = true
+		if cnt == 1 {
+			s.sets[nx][w] = true
+			s.rxNodes = append(s.rxNodes, w32)
+			s.rxRecs = append(s.rxRecs, Reception{Round: round, Msg: s.msgs[nx][w]})
+		} else {
+			s.collisions[w]++
+		}
+	}
+	s.scatter = s.scatter[:0]
+	return len(s.txList)
+}
+
+// resolvePull computes what node v hears this round by scanning v's
+// neighbourhood, and returns 1 if v transmitted (for the transmission
+// count). Used by the parallel engine (listener-partitioned) and the
+// dense reference mode.
+func (s *Sim) resolvePull(csr *graph.CSR, v int) int {
+	nx := 1 - s.cur
+	if s.actions[v].Transmit {
+		s.sets[nx][v] = false
+		s.busys[nx][v] = false
+		return 1
+	}
+	count := 0
+	var sender int32 = -1
+	for _, w := range csr.Neighbors(v) {
+		if s.actions[w].Transmit && !s.dropped[w] {
+			count++
+			if count > 1 {
+				break
+			}
+			sender = w
+		}
+	}
+	s.busys[nx][v] = count >= 1
+	switch {
+	case count == 1:
+		s.msgs[nx][v] = s.actions[sender].Msg
+		s.sets[nx][v] = true
+	case count > 1:
+		s.collisions[v]++ // safe in parallel mode: each v has one resolver
+		s.sets[nx][v] = false
+	default:
+		s.sets[nx][v] = false
+	}
+	return 0
+}
+
+// materialize builds the caller-owned Result from the flat event logs:
+// a constant number of allocations regardless of traffic, with per-node
+// views carved out of two exactly-sized backing arrays.
+func (s *Sim) materialize(rounds, total int, silentStopped bool) *Result {
+	n := s.n
+	res := &Result{
+		Rounds:             rounds,
+		TotalTransmissions: total,
+		MaxMessageBits:     s.maxBits,
+		SilentStopped:      silentStopped,
+		Collisions:         make([]int, n),
+		Transmits:          make([][]int, n),
+		Receives:           make([][]Reception, n),
+	}
+	copy(res.Collisions, s.collisions)
+
+	cnt := s.deliverCnt // zeroed scratch between rounds, reused here
+	for _, v := range s.txNodes {
+		cnt[v]++
+	}
+	txBacking := make([]int, len(s.txNodes))
+	off := 0
+	for v := 0; v < n; v++ {
+		if c := int(cnt[v]); c > 0 {
+			res.Transmits[v] = txBacking[off : off : off+c]
+			off += c
+		}
+	}
+	for i, v := range s.txNodes {
+		res.Transmits[v] = append(res.Transmits[v], int(s.txRounds[i]))
+	}
+	for _, v := range s.txNodes {
+		cnt[v] = 0
+	}
+
+	for _, v := range s.rxNodes {
+		cnt[v]++
+	}
+	rxBacking := make([]Reception, len(s.rxNodes))
+	off = 0
+	for v := 0; v < n; v++ {
+		if c := int(cnt[v]); c > 0 {
+			res.Receives[v] = rxBacking[off : off : off+c]
+			off += c
+		}
+	}
+	for i, v := range s.rxNodes {
+		res.Receives[v] = append(res.Receives[v], s.rxRecs[i])
+	}
+	for _, v := range s.rxNodes {
+		cnt[v] = 0
+	}
+	return res
+}

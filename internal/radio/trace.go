@@ -31,16 +31,16 @@ type TraceRx struct {
 	Msg  Message
 }
 
-func (t *Trace) record(round int, actions []Action, heard []*Message) {
+func (t *Trace) record(round int, actions []Action, heardMsg []Message, heardSet []bool) {
 	tr := TraceRound{Round: round}
 	for v, a := range actions {
 		if a.Transmit {
 			tr.Transmitters = append(tr.Transmitters, TraceTx{Node: v, Msg: a.Msg})
 		}
 	}
-	for v, m := range heard {
-		if m != nil {
-			tr.Deliveries = append(tr.Deliveries, TraceRx{Node: v, Msg: *m})
+	for v, ok := range heardSet {
+		if ok {
+			tr.Deliveries = append(tr.Deliveries, TraceRx{Node: v, Msg: heardMsg[v]})
 		}
 	}
 	if len(tr.Transmitters) > 0 || len(tr.Deliveries) > 0 {

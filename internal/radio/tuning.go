@@ -15,6 +15,12 @@ type Tuning struct {
 	Trace *Trace
 	// Drop, when non-nil, injects transmission faults (see Options.Drop).
 	Drop func(node, round int) bool
+	// Sim, when non-nil, is the reusable engine buffers to run on (see
+	// Options.Sim).
+	Sim *Sim
+	// DisableSparse forces the dense reference engine (see
+	// Options.DisableSparse).
+	DisableSparse bool
 }
 
 // With returns o with the non-zero fields of t layered on top. A nil t
@@ -34,6 +40,12 @@ func (o Options) With(t *Tuning) Options {
 	}
 	if t.Drop != nil {
 		o.Drop = t.Drop
+	}
+	if t.Sim != nil {
+		o.Sim = t.Sim
+	}
+	if t.DisableSparse {
+		o.DisableSparse = true
 	}
 	return o
 }

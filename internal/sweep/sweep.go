@@ -12,20 +12,24 @@ import (
 // Map applies f to every item using the given number of workers
 // (0 or negative → GOMAXPROCS) and returns results in input order.
 func Map[T, R any](items []T, workers int, f func(T) R) []R {
+	return MapIdx(items, workers, func(_ int, t T) R { return f(t) })
+}
+
+// MapIdx is Map with worker identity: f receives the index of the worker
+// goroutine running it (0 ≤ w < Workers(len(items), workers)), so callers
+// can give each worker exclusive scratch state — the Sweep runner hands
+// every worker its own reusable radio.Sim this way. All calls with the
+// same worker index are sequential.
+func MapIdx[T, R any](items []T, workers int, f func(worker int, item T) R) []R {
 	n := len(items)
 	out := make([]R, n)
 	if n == 0 {
 		return out
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = Workers(n, workers)
 	if workers == 1 {
 		for i, it := range items {
-			out[i] = f(it)
+			out[i] = f(0, it)
 		}
 		return out
 	}
@@ -33,12 +37,12 @@ func Map[T, R any](items []T, workers int, f func(T) R) []R {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range next {
-				out[i] = f(items[i])
+				out[i] = f(w, items[i])
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i
@@ -46,6 +50,21 @@ func Map[T, R any](items []T, workers int, f func(T) R) []R {
 	close(next)
 	wg.Wait()
 	return out
+}
+
+// Workers resolves a worker-count request against n items: ≤ 0 means
+// GOMAXPROCS, and the result never exceeds n (or falls below 1).
+func Workers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // MapErr is Map for fallible work: it returns the first error by input

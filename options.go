@@ -36,6 +36,14 @@ type Config struct {
 	// Build tunes the §2.1 stage construction underlying the λ-family
 	// schemes (prune order, deliberately broken ablation modes).
 	Build core.BuildOptions
+	// Sim, when non-nil, is the reusable engine the run executes on:
+	// passing the same Sim to every run of a label-once/run-many loop
+	// amortises all per-run engine buffers (see NewSim).
+	Sim *Sim
+	// DenseEngine forces the dense reference engine: every node stepped
+	// every round, ignoring sparse-wakeup hints. Results are bit-identical
+	// either way; the knob exists for differential tests and benchmarks.
+	DenseEngine bool
 
 	// source is the WithSource override; -1 means "use the Network's /
 	// Labeling's source".
@@ -87,6 +95,26 @@ func WithCoordinator(r int) Option {
 // WithSeed sets the seed of any randomized labeling search.
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 
+// WithSim runs on a caller-owned reusable engine. In a label-once/run-many
+// loop, passing the same Sim to every RunLabeled amortises all per-run
+// engine buffers, so steady-state runs allocate only the protocols and the
+// Result:
+//
+//	sim := radiobcast.NewSim()
+//	for i := 0; i < runs; i++ {
+//		out, err := radiobcast.RunLabeled(l, radiobcast.WithSim(sim))
+//		...
+//	}
+//
+// A Sim must not be used by two runs concurrently.
+func WithSim(s *Sim) Option { return func(c *Config) { c.Sim = s } }
+
+// WithDenseEngine disables the sparse-wakeup fast path, forcing the dense
+// reference engine that steps every node every round. Outcomes are
+// bit-identical with or without it; it exists for differential testing and
+// for measuring what the fast path buys.
+func WithDenseEngine() Option { return func(c *Config) { c.DenseEngine = true } }
+
 // WithBuild sets the options of the §2.1 stage construction (λ-family
 // schemes); mainly for ablations.
 func WithBuild(b core.BuildOptions) Option { return func(c *Config) { c.Build = b } }
@@ -103,9 +131,37 @@ func newConfig(opts []Option) *Config {
 // runner accepts.
 func (c *Config) tuning() *radio.Tuning {
 	return &radio.Tuning{
-		Workers:   c.Workers,
-		MaxRounds: c.MaxRounds,
-		Trace:     c.Trace,
-		Drop:      c.Drop,
+		Workers:       c.Workers,
+		MaxRounds:     c.MaxRounds,
+		Trace:         c.Trace,
+		Drop:          c.Drop,
+		Sim:           c.Sim,
+		DisableSparse: c.DenseEngine,
+	}
+}
+
+// FaultRate returns a deterministic fault model for WithFaults: each
+// (node, round) transmission is independently jammed with the given
+// probability, decided by a seeded hash, so the same (rate, seed) always
+// jams the same transmissions — sweeps and tests are reproducible without
+// sharing any random-number state across goroutines.
+func FaultRate(rate float64, seed int64) func(node, round int) bool {
+	if rate <= 0 {
+		return nil
+	}
+	if rate >= 1 {
+		return func(node, round int) bool { return true }
+	}
+	// Probability threshold in fixed point over the hash's 64-bit range.
+	threshold := uint64(rate * (1 << 63) * 2)
+	return func(node, round int) bool {
+		// splitmix64 over the packed (seed, node, round) triple.
+		x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(node)<<32 + uint64(round) + 1
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x < threshold
 	}
 }

@@ -25,7 +25,22 @@ type (
 	Result = radio.Result
 	// Trace records a run round by round (see WithTrace).
 	Trace = radio.Trace
+	// Sim is a reusable simulation engine owning all per-run buffers (see
+	// NewSim and WithSim).
+	Sim = radio.Sim
 )
+
+// NoReception is the sentinel Result.FirstReception returns for a node
+// that never received a matching message. Engine rounds are 1-based, so
+// the zero value cannot be confused with a real reception round.
+const NoReception = radio.NoReception
+
+// NewSim returns a reusable simulation engine. Passing it to consecutive
+// runs via WithSim keeps every engine buffer across runs, which makes the
+// steady state of a label-once/run-many loop allocation-free on the engine
+// side. A Sim must not be shared by concurrent runs; the Sweep subsystem
+// gives each worker its own.
+func NewSim() *Sim { return radio.NewSim() }
 
 // Labeling is the output of a Scheme's labeling phase: the per-node labels
 // plus whatever scheme-specific structure the run phase needs. It plays

@@ -1,0 +1,289 @@
+package radiobcast
+
+import (
+	"fmt"
+	"sync"
+
+	"radiobcast/internal/sweep"
+)
+
+// SweepSpec describes a batched grid of broadcast runs: the cross product
+// families × sizes × schemes × sources × fault rates × repeats, executed
+// by one worker pool. Graphs are built and frozen once per (family, size)
+// and labelings once per (family, size, scheme, source); all cells that
+// differ only in fault rate or repeat share them, which is the paper's
+// label-once/run-many regime run as a single job. Each worker owns a
+// reusable Sim, so the steady state of a large sweep allocates per cell
+// only the protocols and the Outcome.
+type SweepSpec struct {
+	// Families names the graph families to sweep (see FamilyNames).
+	Families []string
+	// Sizes are the requested graph sizes (generators may round; the
+	// actual size is reported per cell).
+	Sizes []int
+	// Schemes names the registered schemes to run (see SchemeNames).
+	Schemes []string
+	// Sources are the broadcast sources. Values are node ids; a negative
+	// value counts from the end (−1 = highest-numbered node). Values are
+	// clamped into the actual node range. Default: {0}.
+	Sources []int
+	// FaultRates are the per-transmission jam probabilities to sweep,
+	// applied through the deterministic FaultRate model. Rate 0 is the
+	// fault-free channel; only fault-free cells are Verify-checked.
+	// Default: {0}.
+	FaultRates []float64
+	// Repeats runs every (family, size, scheme, source, rate) cell this
+	// many times with distinct fault seeds (repeat i uses Seed+i), so
+	// faulty-channel results can be averaged. Default: 1.
+	Repeats int
+	// Mu is the broadcast message (default "µ").
+	Mu string
+	// MaxRounds overrides every scheme's default round bound when > 0.
+	MaxRounds int
+	// Workers sizes the worker pool (≤ 0 → GOMAXPROCS). Each cell runs
+	// the sequential engine; parallelism comes from running cells
+	// concurrently, which scales better than parallelising single runs.
+	Workers int
+	// Seed is the base seed of the fault model (default 1).
+	Seed int64
+	// DenseEngine forces the dense reference engine in every cell (see
+	// WithDenseEngine).
+	DenseEngine bool
+	// OnCell, when non-nil, streams every finished cell as it completes
+	// (in completion order, which under a concurrent pool is not grid
+	// order; the slice returned by RunSweep is always in grid order).
+	// It is called from worker goroutines but never concurrently.
+	OnCell func(CellResult)
+}
+
+// SweepCell identifies one point of the sweep grid.
+type SweepCell struct {
+	Family    string
+	Size      int // requested size (see CellResult.N for the actual one)
+	Scheme    string
+	Source    int // resolved source node id
+	FaultRate float64
+	Repeat    int // 0-based repeat index
+}
+
+// CellResult is the outcome of one sweep cell.
+type CellResult struct {
+	// Cell is the grid point this result belongs to.
+	Cell SweepCell
+	// N is the actual node count of the generated graph.
+	N int
+	// Outcome is the unified run outcome (nil when Err is a setup error).
+	Outcome *Outcome
+	// Verified reports that the cell ran fault-free and the scheme's
+	// guarantees held. Faulty cells are never verified: broken broadcasts
+	// are their data, reported through Outcome.AllInformed.
+	Verified bool
+	// Err is a setup error (labeling failed) or, on a fault-free cell, a
+	// Verify failure. It is nil for a faulty cell that merely failed to
+	// inform everyone.
+	Err error
+}
+
+// String renders the cell coordinates compactly.
+func (c SweepCell) String() string {
+	s := fmt.Sprintf("%s/n=%d/%s/src=%d", c.Family, c.Size, c.Scheme, c.Source)
+	if c.FaultRate > 0 {
+		s += fmt.Sprintf("/drop=%g", c.FaultRate)
+	}
+	if c.Repeat > 0 {
+		s += fmt.Sprintf("/rep=%d", c.Repeat)
+	}
+	return s
+}
+
+// netKey identifies a shared frozen graph; labKey a shared labeling.
+type netKey struct {
+	family string
+	size   int
+}
+
+type labKey struct {
+	netKey
+	scheme string
+	source int
+}
+
+type labEntry struct {
+	l   *Labeling
+	err error
+}
+
+// RunSweep executes the sweep and returns one CellResult per grid point,
+// in grid order (families, then sizes, schemes, sources, fault rates,
+// repeats — the nesting order of the spec fields). It returns a non-nil
+// error only for an unusable spec: an empty grid, an unknown family or
+// scheme. Per-cell failures are reported in the cells, so one impossible
+// labeling does not abort a large batch.
+func RunSweep(spec SweepSpec) ([]CellResult, error) {
+	if spec.Repeats <= 0 {
+		spec.Repeats = 1
+	}
+	if len(spec.Sources) == 0 {
+		spec.Sources = []int{0}
+	}
+	if len(spec.FaultRates) == 0 {
+		spec.FaultRates = []float64{0}
+	}
+	if spec.Mu == "" {
+		spec.Mu = "µ"
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if len(spec.Families) == 0 || len(spec.Sizes) == 0 || len(spec.Schemes) == 0 {
+		return nil, fmt.Errorf("radiobcast: sweep needs at least one family, size and scheme")
+	}
+	for _, s := range spec.Schemes {
+		if _, ok := Lookup(s); !ok {
+			return nil, fmt.Errorf("radiobcast: sweep names unknown scheme %q (registered: %v)", s, SchemeNames())
+		}
+	}
+
+	// Phase 1: build and freeze one graph per (family, size). Freezing
+	// here makes the shared graphs read-only for the concurrent phases.
+	nets := make(map[netKey]*Network)
+	for _, fam := range spec.Families {
+		for _, size := range spec.Sizes {
+			k := netKey{fam, size}
+			if _, ok := nets[k]; ok {
+				continue
+			}
+			net, err := Family(fam, size)
+			if err != nil {
+				return nil, err
+			}
+			net.Graph.Freeze()
+			nets[k] = net
+		}
+	}
+
+	// Phase 2: compute each distinct labeling once, in parallel across
+	// keys. Cells differing only in fault rate or repeat share the entry.
+	var labKeys []labKey
+	seen := make(map[labKey]bool)
+	for _, fam := range spec.Families {
+		for _, size := range spec.Sizes {
+			for _, scheme := range spec.Schemes {
+				for _, src := range spec.Sources {
+					k := labKey{netKey{fam, size}, scheme, resolveSource(src, nets[netKey{fam, size}].Graph.N())}
+					if !seen[k] {
+						seen[k] = true
+						labKeys = append(labKeys, k)
+					}
+				}
+			}
+		}
+	}
+	entries := sweep.Map(labKeys, spec.Workers, func(k labKey) labEntry {
+		net := nets[k.netKey]
+		l, err := LabelNetwork(net, k.scheme, WithSource(k.source), WithMessage(spec.Mu))
+		if err != nil {
+			err = fmt.Errorf("label %s/n=%d/%s/src=%d: %w", k.family, k.size, k.scheme, k.source, err)
+		}
+		return labEntry{l, err}
+	})
+	labelings := make(map[labKey]labEntry, len(labKeys))
+	for i, k := range labKeys {
+		labelings[k] = entries[i]
+	}
+
+	// Phase 3: run every cell on the pool; worker w reuses sims[w].
+	cells := enumerateCells(spec, nets)
+	sims := make([]*Sim, sweep.Workers(len(cells), spec.Workers))
+	for i := range sims {
+		sims[i] = NewSim()
+	}
+	var streamMu sync.Mutex
+	results := sweep.MapIdx(cells, spec.Workers, func(w int, c SweepCell) CellResult {
+		res := runCell(spec, c, nets, labelings, sims[w])
+		if spec.OnCell != nil {
+			streamMu.Lock()
+			spec.OnCell(res)
+			streamMu.Unlock()
+		}
+		return res
+	})
+	return results, nil
+}
+
+// enumerateCells lists the grid in spec nesting order with resolved
+// sources.
+func enumerateCells(spec SweepSpec, nets map[netKey]*Network) []SweepCell {
+	var cells []SweepCell
+	for _, fam := range spec.Families {
+		for _, size := range spec.Sizes {
+			n := nets[netKey{fam, size}].Graph.N()
+			for _, scheme := range spec.Schemes {
+				for _, src := range spec.Sources {
+					for _, rate := range spec.FaultRates {
+						for rep := 0; rep < spec.Repeats; rep++ {
+							cells = append(cells, SweepCell{
+								Family: fam, Size: size, Scheme: scheme,
+								Source: resolveSource(src, n), FaultRate: rate, Repeat: rep,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// resolveSource maps a requested source onto the actual node range:
+// negative values count from the end, and out-of-range values clamp.
+func resolveSource(src, n int) int {
+	if src < 0 {
+		src = n + src
+	}
+	if src < 0 {
+		src = 0
+	}
+	if src >= n {
+		src = n - 1
+	}
+	return src
+}
+
+func runCell(spec SweepSpec, c SweepCell, nets map[netKey]*Network, labelings map[labKey]labEntry, sim *Sim) CellResult {
+	net := nets[netKey{c.Family, c.Size}]
+	res := CellResult{Cell: c, N: net.Graph.N()}
+	entry := labelings[labKey{netKey{c.Family, c.Size}, c.Scheme, c.Source}]
+	if entry.err != nil {
+		res.Err = entry.err
+		return res
+	}
+	opts := []Option{
+		WithMessage(spec.Mu),
+		WithSource(c.Source),
+		WithSim(sim),
+	}
+	if spec.MaxRounds > 0 {
+		opts = append(opts, WithMaxRounds(spec.MaxRounds))
+	}
+	if spec.DenseEngine {
+		opts = append(opts, WithDenseEngine())
+	}
+	if c.FaultRate > 0 {
+		opts = append(opts, WithFaults(FaultRate(c.FaultRate, spec.Seed+int64(c.Repeat))))
+	}
+	out, err := RunLabeled(entry.l, opts...)
+	if err != nil {
+		res.Err = fmt.Errorf("run %s: %w", c, err)
+		return res
+	}
+	res.Outcome = out
+	if c.FaultRate == 0 {
+		if err := Verify(out); err != nil {
+			res.Err = fmt.Errorf("verify %s: %w", c, err)
+		} else {
+			res.Verified = true
+		}
+	}
+	return res
+}

@@ -1,0 +1,397 @@
+// Tests for the engine-mode equivalence contract, the WithTrace/WithFaults
+// facade paths, the steady-state allocation guarantee of reused Sims, and
+// the Sweep batch subsystem.
+package radiobcast_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"radiobcast"
+	"radiobcast/internal/radio"
+)
+
+func sameResults(a, b *radio.Result) bool {
+	return a.Rounds == b.Rounds &&
+		a.TotalTransmissions == b.TotalTransmissions &&
+		a.MaxMessageBits == b.MaxMessageBits &&
+		a.SilentStopped == b.SilentStopped &&
+		reflect.DeepEqual(a.Transmits, b.Transmits) &&
+		reflect.DeepEqual(a.Receives, b.Receives) &&
+		reflect.DeepEqual(a.Collisions, b.Collisions)
+}
+
+// TestEngineModesBitIdentical pins the refactor's core contract on the
+// full scheme × family matrix: the sparse-wakeup fast path, the dense
+// reference engine and the parallel engine produce bit-identical raw
+// Results (not just equal summaries) over one shared labeling.
+func TestEngineModesBitIdentical(t *testing.T) {
+	type fam struct {
+		name string
+		n    int
+	}
+	general := []fam{{"path", 12}, {"cycle", 9}, {"grid", 16}, {"gnp-sparse", 14}, {"complete", 8}, {"star", 9}}
+	matrix := map[string][]fam{
+		"b":           general,
+		"back":        general,
+		"barb":        general,
+		"roundrobin":  general,
+		"colorrobin":  general,
+		"centralized": general,
+		"onebit":      {{"path", 8}, {"grid", 9}},
+		"flooding":    {{"path", 8}, {"star", 9}},
+	}
+	for scheme, fams := range matrix {
+		for _, f := range fams {
+			t.Run(scheme+"/"+f.name, func(t *testing.T) {
+				net, err := radiobcast.Family(f.name, f.n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				l, err := radiobcast.LabelNetwork(net, scheme, radiobcast.WithMessage("m"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := func(opts ...radiobcast.Option) *radiobcast.Outcome {
+					t.Helper()
+					out, err := radiobcast.RunLabeled(l, append(opts, radiobcast.WithMessage("m"))...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return out
+				}
+				ref := run(radiobcast.WithDenseEngine())
+				for mode, out := range map[string]*radiobcast.Outcome{
+					"sparse":         run(),
+					"sparse-sim":     run(radiobcast.WithSim(radiobcast.NewSim())),
+					"parallel":       run(radiobcast.WithWorkers(4)),
+					"dense-parallel": run(radiobcast.WithDenseEngine(), radiobcast.WithWorkers(4)),
+				} {
+					if !sameResults(ref.Result, out.Result) {
+						t.Fatalf("mode %s diverged from the dense reference engine", mode)
+					}
+					if !reflect.DeepEqual(ref.InformedRound, out.InformedRound) {
+						t.Fatalf("mode %s: informed rounds differ", mode)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWithTraceMatchesResult cross-checks the WithTrace facade path: the
+// trace's per-round transmitter and delivery records must agree exactly
+// with the Result's per-node transmit/receive logs.
+func TestWithTraceMatchesResult(t *testing.T) {
+	for _, scheme := range []string{"b", "back", "centralized"} {
+		t.Run(scheme, func(t *testing.T) {
+			net, err := radiobcast.Family("grid", 25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := &radiobcast.Trace{}
+			out, err := radiobcast.Run(net, scheme,
+				radiobcast.WithMessage("m"), radiobcast.WithTrace(tr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := out.Result
+
+			// Rebuild the per-round views from the Result.
+			txByRound := map[int]map[int]bool{}
+			for v, rounds := range res.Transmits {
+				for _, r := range rounds {
+					if txByRound[r] == nil {
+						txByRound[r] = map[int]bool{}
+					}
+					txByRound[r][v] = true
+				}
+			}
+			rxByRound := map[int]map[int]bool{}
+			for v, recs := range res.Receives {
+				for _, rec := range recs {
+					if rxByRound[rec.Round] == nil {
+						rxByRound[rec.Round] = map[int]bool{}
+					}
+					rxByRound[rec.Round][v] = true
+				}
+			}
+
+			tracedRounds := map[int]bool{}
+			for _, round := range tr.Rounds {
+				tracedRounds[round.Round] = true
+				gotTx := map[int]bool{}
+				for _, tx := range round.Transmitters {
+					gotTx[tx.Node] = true
+				}
+				if !reflect.DeepEqual(gotTx, orEmpty(txByRound[round.Round])) {
+					t.Fatalf("round %d: trace transmitters %v, result %v",
+						round.Round, gotTx, txByRound[round.Round])
+				}
+				gotRx := map[int]bool{}
+				for _, rx := range round.Deliveries {
+					gotRx[rx.Node] = true
+				}
+				if !reflect.DeepEqual(gotRx, orEmpty(rxByRound[round.Round])) {
+					t.Fatalf("round %d: trace deliveries %v, result %v",
+						round.Round, gotRx, rxByRound[round.Round])
+				}
+			}
+			// Every active round must appear in the trace.
+			for r := range txByRound {
+				if !tracedRounds[r] {
+					t.Fatalf("round %d has transmissions but no trace record", r)
+				}
+			}
+		})
+	}
+}
+
+func orEmpty(m map[int]bool) map[int]bool {
+	if m == nil {
+		return map[int]bool{}
+	}
+	return m
+}
+
+// TestWithFaultsSuppressesDelivery pins the fault path end to end: with
+// every transmission jammed, traffic still flows (nodes believe they
+// transmitted) but nothing is ever delivered.
+func TestWithFaultsSuppressesDelivery(t *testing.T) {
+	net, err := radiobcast.Family("grid", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := radiobcast.Run(net, "b",
+		radiobcast.WithMessage("m"),
+		radiobcast.WithFaults(func(node, round int) bool { return true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.TotalTransmissions == 0 {
+		t.Fatal("jammed run recorded no transmissions; Drop should jam, not silence, the sender")
+	}
+	for v, recs := range out.Result.Receives {
+		if len(recs) != 0 {
+			t.Fatalf("node %d received %d messages through a fully jammed channel", v, len(recs))
+		}
+	}
+	if out.AllInformed {
+		t.Fatal("broadcast claims completion with every transmission jammed")
+	}
+	for v, r := range out.InformedRound {
+		if v != out.Source && r != radiobcast.NoReception {
+			t.Fatalf("node %d marked informed in round %d under a fully jammed channel", v, r)
+		}
+	}
+}
+
+// TestFaultRateDeterministic pins the seeded fault model: same (rate,
+// seed) jams the same transmissions, different seeds differ, and rate
+// bounds behave.
+func TestFaultRateDeterministic(t *testing.T) {
+	a, b := radiobcast.FaultRate(0.3, 7), radiobcast.FaultRate(0.3, 7)
+	c := radiobcast.FaultRate(0.3, 8)
+	same, diff := true, false
+	hits, total := 0, 0
+	for v := 0; v < 50; v++ {
+		for r := 1; r <= 50; r++ {
+			if a(v, r) != b(v, r) {
+				same = false
+			}
+			if a(v, r) != c(v, r) {
+				diff = true
+			}
+			if a(v, r) {
+				hits++
+			}
+			total++
+		}
+	}
+	if !same {
+		t.Fatal("FaultRate with identical (rate, seed) disagreed with itself")
+	}
+	if !diff {
+		t.Fatal("FaultRate with different seeds never disagreed (suspicious)")
+	}
+	if frac := float64(hits) / float64(total); frac < 0.2 || frac > 0.4 {
+		t.Fatalf("rate 0.3 jammed %.2f of transmissions", frac)
+	}
+	if radiobcast.FaultRate(0, 1) != nil {
+		t.Fatal("rate 0 should disable the fault model")
+	}
+	if all := radiobcast.FaultRate(1, 1); !all(3, 5) {
+		t.Fatal("rate 1 should jam everything")
+	}
+}
+
+// TestRunLabeledSteadyStateAllocs pins the label-once/run-many regime the
+// refactor exists for: with a reused Sim, a steady-state RunLabeled
+// allocates only the per-run protocols and outcome — the count must not
+// scale with traffic or rounds (the pre-refactor engine did thousands of
+// allocations on this workload).
+func TestRunLabeledSteadyStateAllocs(t *testing.T) {
+	net, err := radiobcast.Family("grid", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := radiobcast.LabelNetwork(net, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := radiobcast.NewSim()
+	run := func() {
+		out, err := radiobcast.RunLabeled(l, radiobcast.WithMessage("m"), radiobcast.WithSim(sim))
+		if err != nil || !out.AllInformed {
+			t.Fatalf("run failed: %v", err)
+		}
+	}
+	run() // warm-up sizes the Sim's buffers
+	allocs := testing.AllocsPerRun(10, run)
+	// Fresh protocols, the detached Result, the outcome assembly and the
+	// option slice: a fixed small budget, independent of n and traffic.
+	const budget = 40
+	if allocs > budget {
+		t.Fatalf("steady-state RunLabeled does %.0f allocs/run, want ≤ %d", allocs, budget)
+	}
+}
+
+// TestRunSweepMatchesIndividualRuns pins the Sweep subsystem's sharing:
+// every cell of a batched job must be bit-identical to the same run
+// performed standalone through the plain facade.
+func TestRunSweepMatchesIndividualRuns(t *testing.T) {
+	spec := radiobcast.SweepSpec{
+		Families:   []string{"path", "grid"},
+		Sizes:      []int{16, 36},
+		Schemes:    []string{"b", "roundrobin", "centralized"},
+		Sources:    []int{0, -1},
+		FaultRates: []float64{0, 0.05},
+		Repeats:    2,
+		Mu:         "m",
+		Workers:    4,
+	}
+	results, err := radiobcast.RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(spec.Families) * len(spec.Sizes) * len(spec.Schemes) *
+		len(spec.Sources) * len(spec.FaultRates) * spec.Repeats
+	if len(results) != want {
+		t.Fatalf("sweep returned %d cells, want %d", len(results), want)
+	}
+	for _, c := range results {
+		if c.Err != nil {
+			t.Fatalf("%s: %v", c.Cell, c.Err)
+		}
+		if c.Cell.FaultRate == 0 && !c.Verified {
+			t.Fatalf("%s: fault-free cell not verified", c.Cell)
+		}
+		if c.Cell.FaultRate > 0 && c.Verified {
+			t.Fatalf("%s: faulty cell claims verification", c.Cell)
+		}
+
+		// Reproduce the cell standalone.
+		net, err := radiobcast.Family(c.Cell.Family, c.Cell.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []radiobcast.Option{
+			radiobcast.WithMessage("m"),
+			radiobcast.WithSource(c.Cell.Source),
+		}
+		if c.Cell.FaultRate > 0 {
+			opts = append(opts, radiobcast.WithFaults(
+				radiobcast.FaultRate(c.Cell.FaultRate, 1+int64(c.Cell.Repeat))))
+		}
+		solo, err := radiobcast.Run(net.At(c.Cell.Source), c.Cell.Scheme, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResults(solo.Result, c.Outcome.Result) {
+			t.Fatalf("%s: sweep cell diverged from standalone run", c.Cell)
+		}
+	}
+}
+
+// TestRunSweepStreaming checks the OnCell stream: every grid cell is
+// delivered exactly once, and the returned slice is in grid order.
+func TestRunSweepStreaming(t *testing.T) {
+	var streamed []radiobcast.SweepCell
+	spec := radiobcast.SweepSpec{
+		Families: []string{"path"},
+		Sizes:    []int{8, 12},
+		Schemes:  []string{"b", "back"},
+		Workers:  3,
+		OnCell:   func(c radiobcast.CellResult) { streamed = append(streamed, c.Cell) },
+	}
+	results, err := radiobcast.RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(results) {
+		t.Fatalf("streamed %d cells, returned %d", len(streamed), len(results))
+	}
+	seen := map[string]int{}
+	for _, c := range streamed {
+		seen[c.String()]++
+	}
+	var wantOrder []string
+	for _, size := range spec.Sizes {
+		for _, scheme := range spec.Schemes {
+			wantOrder = append(wantOrder, fmt.Sprintf("path/n=%d/%s/src=0", size, scheme))
+		}
+	}
+	for i, c := range results {
+		if c.Cell.String() != wantOrder[i] {
+			t.Fatalf("result %d is %s, want grid order %s", i, c.Cell, wantOrder[i])
+		}
+		if seen[c.Cell.String()] != 1 {
+			t.Fatalf("cell %s streamed %d times", c.Cell, seen[c.Cell.String()])
+		}
+	}
+}
+
+// TestRunSweepDeterministic pins run-to-run reproducibility of a faulty
+// concurrent sweep (shared labelings plus the seeded fault model).
+func TestRunSweepDeterministic(t *testing.T) {
+	spec := radiobcast.SweepSpec{
+		Families:   []string{"grid"},
+		Sizes:      []int{25},
+		Schemes:    []string{"b"},
+		FaultRates: []float64{0.1},
+		Repeats:    3,
+		Workers:    4,
+		Seed:       9,
+	}
+	a, err := radiobcast.RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := radiobcast.RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !sameResults(a[i].Outcome.Result, b[i].Outcome.Result) {
+			t.Fatalf("%s: repeated sweep diverged", a[i].Cell)
+		}
+	}
+}
+
+// TestRunSweepSpecErrors checks that unusable specs fail fast.
+func TestRunSweepSpecErrors(t *testing.T) {
+	if _, err := radiobcast.RunSweep(radiobcast.SweepSpec{}); err == nil {
+		t.Fatal("empty spec did not error")
+	}
+	if _, err := radiobcast.RunSweep(radiobcast.SweepSpec{
+		Families: []string{"path"}, Sizes: []int{8}, Schemes: []string{"nope"},
+	}); err == nil {
+		t.Fatal("unknown scheme did not error")
+	}
+	if _, err := radiobcast.RunSweep(radiobcast.SweepSpec{
+		Families: []string{"no-such-family"}, Sizes: []int{8}, Schemes: []string{"b"},
+	}); err == nil {
+		t.Fatal("unknown family did not error")
+	}
+}
