@@ -4,6 +4,15 @@
 // an entity that knows the topology and assigns short labels enabling
 // universal broadcast. Any registered scheme works (-schemes lists them).
 //
+// A labeling is the paper's durable artifact: -save writes it in the
+// portable binary wire format (graph, labels and all scheme structure),
+// and -load reads one back in place of computing it, so the central
+// monitor and the broadcast runner can be different processes on
+// different machines:
+//
+//	labeler -family grid -n 64 -scheme back -save grid.labels
+//	labeler -load grid.labels                    # inspect a shipped labeling
+//
 // Usage:
 //
 //	labeler -family grid -n 25 -scheme b -stages
@@ -30,6 +39,8 @@ func main() {
 		r        = flag.Int("r", 0, "coordinator for barb")
 		stages   = flag.Bool("stages", false, "print the stage decomposition")
 		dot      = flag.String("dot", "", "write Graphviz DOT to file")
+		save     = flag.String("save", "", "write the labeling in the portable wire format to this file")
+		load     = flag.String("load", "", "read a labeling from this file instead of computing one")
 		listSchm = flag.Bool("schemes", false, "list registered schemes and exit")
 		listFam  = flag.Bool("families", false, "list graph families and exit")
 	)
@@ -46,18 +57,51 @@ func main() {
 		return
 	}
 
-	net, err := radiobcast.FamilyOrFile(*family, *n, *file)
-	if err != nil {
-		fail(err)
+	var l *radiobcast.Labeling
+	var net *radiobcast.Network
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fail(err)
+		}
+		l, err = radiobcast.ReadLabeling(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		net = radiobcast.NewNetwork(l.Graph).At(l.Source)
+		net.Name = *load
+		fmt.Printf("loaded %s: scheme %s, source %d\n", *load, l.Scheme, l.Source)
+	} else {
+		var err error
+		net, err = radiobcast.FamilyOrFile(*family, *n, *file)
+		if err != nil {
+			fail(err)
+		}
+		net.Coordinated(*r)
+		if *source >= 0 {
+			net.At(*source)
+		}
+		l, err = radiobcast.LabelNetwork(net, *scheme)
+		if err != nil {
+			fail(err)
+		}
 	}
-	net.Coordinated(*r)
-	if *source >= 0 {
-		net.At(*source)
-	}
+	*scheme = l.Scheme
 
-	l, err := radiobcast.LabelNetwork(net, *scheme)
-	if err != nil {
-		fail(err)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fail(err)
+		}
+		if err := radiobcast.WriteLabeling(f, l); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *save)
 	}
 
 	if l.Labels == nil {

@@ -18,6 +18,12 @@
 //	radiosim -sweep -family path,grid -sizes 64,256 -scheme b,back
 //	radiosim -sweep -family grid -sizes 256 -scheme b -faults 0,0.01,0.05 -repeats 5
 //
+// Both modes accept -timeout to bound the whole job: on expiry the run
+// stops within one engine round (single mode) or one sweep cell (batch
+// mode), prints the partial results observed so far, and exits non-zero:
+//
+//	radiosim -sweep -family grid -sizes 4096 -scheme b -timeout 5s
+//
 // Both modes accept -cpuprofile / -memprofile to capture pprof profiles of
 // the run, so engine changes can be measured:
 //
@@ -25,6 +31,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,7 +49,7 @@ func main() {
 		family   = flag.String("family", "figure1", "graph family; comma-separated list in -sweep mode (see -families)")
 		n        = flag.Int("n", 16, "target graph size (single-run mode)")
 		sizes    = flag.String("sizes", "", "comma-separated graph sizes (-sweep mode; default: -n)")
-		file     = flag.String("graph", "", "read graph from edge-list file instead of -family")
+		file     = flag.String("graph", "", "read graph from edge-list file instead of -family (single-run mode)")
 		scheme   = flag.String("scheme", "b", "registered scheme name; comma-separated list in -sweep mode (see -schemes)")
 		source   = flag.Int("source", -1, "source node (default: the network's)")
 		sources  = flag.String("sources", "", "comma-separated source nodes (-sweep mode; negative counts from the end)")
@@ -55,6 +63,7 @@ func main() {
 		repeats  = flag.Int("repeats", 1, "runs per sweep cell (distinct fault seeds)")
 		seed     = flag.Int64("seed", 1, "base seed of the deterministic fault model")
 		dense    = flag.Bool("dense", false, "force the dense reference engine (no sparse wakeup)")
+		timeout  = flag.Duration("timeout", 0, "abort the job after this duration, printing partial results (0 = no limit)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		listFam  = flag.Bool("families", false, "list graph families and exit")
@@ -75,8 +84,28 @@ func main() {
 
 	startProfiles(*cpuProf, *memProf)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *doSweep {
-		ok := runSweep(sweepArgs{
+		// Reject single-run-only flags instead of silently ignoring them
+		// (a sweep over the wrong topology looks plausible in the table).
+		for name, set := range map[string]bool{
+			"-graph":  *file != "",
+			"-trace":  *trace,
+			"-quick":  *quick,
+			"-source": *source >= 0,
+			"-r":      *r != 0,
+		} {
+			if set {
+				fail(fmt.Errorf("%s applies to single-run mode only (sweep mode takes -sources; see -h)", name))
+			}
+		}
+		ok := runSweep(ctx, sweepArgs{
 			families: *family, sizes: *sizes, n: *n, schemes: *scheme,
 			sources: *sources, faults: *faults, repeats: *repeats,
 			mu: *mu, workers: *workers, seed: *seed, dense: *dense,
@@ -87,7 +116,7 @@ func main() {
 		}
 		return
 	}
-	runSingle(singleArgs{
+	runSingle(ctx, singleArgs{
 		family: *family, n: *n, file: *file, scheme: *scheme,
 		source: *source, r: *r, mu: *mu, workers: *workers,
 		trace: *trace, quick: *quick, dense: *dense,
@@ -144,7 +173,7 @@ type singleArgs struct {
 	trace, quick, dense      bool
 }
 
-func runSingle(a singleArgs) {
+func runSingle(ctx context.Context, a singleArgs) {
 	net, err := radiobcast.FamilyOrFile(a.family, a.n, a.file)
 	if err != nil {
 		fail(err)
@@ -176,8 +205,13 @@ func runSingle(a singleArgs) {
 		opts = append(opts, radiobcast.WithTrace(tr))
 	}
 
-	out, err := radiobcast.Run(net, a.scheme, opts...)
+	sess := radiobcast.NewSession()
+	out, err := sess.Run(ctx, net, a.scheme, opts...)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && out != nil {
+			fmt.Printf("TIMED OUT after %d rounds — partial results:\n", out.Result.Rounds)
+			report(out)
+		}
 		fail(err)
 	}
 	report(out)
@@ -201,7 +235,11 @@ type sweepArgs struct {
 	dense                                         bool
 }
 
-func runSweep(a sweepArgs) bool {
+// runSweep streams the grid straight off Session.Sweep's iterator: one
+// table row per finished cell, in completion order. On timeout the
+// iterator yields the context error last; the cells finished before the
+// cut-off have already been printed, so the summary is the partial result.
+func runSweep(ctx context.Context, a sweepArgs) bool {
 	spec := radiobcast.SweepSpec{
 		Families:    splitList(a.families),
 		Schemes:     splitList(a.schemes),
@@ -217,8 +255,17 @@ func runSweep(a sweepArgs) bool {
 
 	fmt.Printf("%-12s %6s %-12s %5s %6s %4s  %-9s %7s %8s %s\n",
 		"family", "n", "scheme", "src", "drop", "rep", "informed", "round", "tx", "status")
-	failures := 0
-	spec.OnCell = func(c radiobcast.CellResult) {
+	cells, failures := 0, 0
+	sess := radiobcast.NewSession()
+	for c, err := range sess.Sweep(ctx, spec) {
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				fmt.Printf("TIMED OUT after %d cells, %d failed (partial sweep)\n", cells, failures)
+				return false
+			}
+			fail(err)
+		}
+		cells++
 		status := "ok"
 		switch {
 		case c.Err != nil:
@@ -237,12 +284,7 @@ func runSweep(a sweepArgs) bool {
 			c.Cell.Family, c.N, c.Cell.Scheme, c.Cell.Source,
 			c.Cell.FaultRate, c.Cell.Repeat, informed, round, tx, status)
 	}
-
-	results, err := radiobcast.RunSweep(spec)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("%d cells, %d failed\n", len(results), failures)
+	fmt.Printf("%d cells, %d failed\n", cells, failures)
 	return failures == 0
 }
 

@@ -1,0 +1,416 @@
+package radiobcast
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"radiobcast/internal/baseline"
+	"radiobcast/internal/core"
+	"radiobcast/internal/graph"
+)
+
+// The labeling wire format, version 1. A labeling is the paper's durable
+// artifact — computed once by the central monitor, then shipped to
+// wherever broadcasts run — so it serializes as a self-contained,
+// versioned, byte-order-independent blob:
+//
+//	"RBL1"            magic + version
+//	scheme            uvarint length + bytes
+//	source, Z, R      varints
+//	graph             n, m uvarints, then m edge pairs (u, v) as uvarints
+//	flags             bit0 labels, bit1 schedule, bit2 stages
+//	labels            n × (uvarint length + bytes), when present
+//	delays            2 varints (flooding-family forwarding delays)
+//	schedule          rounds, then per round: count + node uvarints
+//	stages            ℓ, restricted, stalled, stored count, then per
+//	                  stage the DOM and NEW node lists
+//	crc32             IEEE checksum of everything above, little-endian
+//
+// All integers are varint-encoded; everything a Run or Verify needs
+// travels in the blob (the λ-family stage structure is rebuilt from its
+// DOM/NEW lists via the §2.1 recurrence). Decoding is defensive: every
+// count is bounded by the remaining input before anything is allocated,
+// and corrupt or truncated blobs return errors, never panics.
+const (
+	labelingMagic   = "RBL1"
+	flagHasLabels   = 1 << 0
+	flagHasSchedule = 1 << 1
+	flagHasStages   = 1 << 2
+)
+
+// MarshalBinary encodes the labeling in the versioned wire format. It
+// implements encoding.BinaryMarshaler. The encoding is canonical: equal
+// labelings marshal to identical bytes, so blobs can be content-addressed.
+func (l *Labeling) MarshalBinary() ([]byte, error) {
+	if l == nil || l.Graph == nil {
+		return nil, labelingMismatch("cannot marshal a labeling without a graph")
+	}
+	if l.Labels != nil && len(l.Labels) != l.Graph.N() {
+		return nil, labelingMismatch("%d labels for %d nodes", len(l.Labels), l.Graph.N())
+	}
+	buf := []byte(labelingMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(l.Scheme)))
+	buf = append(buf, l.Scheme...)
+	buf = binary.AppendVarint(buf, int64(l.Source))
+	buf = binary.AppendVarint(buf, int64(l.Z))
+	buf = binary.AppendVarint(buf, int64(l.R))
+
+	g := l.Graph
+	buf = binary.AppendUvarint(buf, uint64(g.N()))
+	buf = binary.AppendUvarint(buf, uint64(g.M()))
+	for _, e := range g.Edges() {
+		buf = binary.AppendUvarint(buf, uint64(e[0]))
+		buf = binary.AppendUvarint(buf, uint64(e[1]))
+	}
+
+	var flags byte
+	if l.Labels != nil {
+		flags |= flagHasLabels
+	}
+	if l.Schedule != nil {
+		flags |= flagHasSchedule
+	}
+	if l.Stages != nil {
+		flags |= flagHasStages
+	}
+	buf = append(buf, flags)
+
+	if l.Labels != nil {
+		for _, lab := range l.Labels {
+			buf = binary.AppendUvarint(buf, uint64(len(lab)))
+			buf = append(buf, lab...)
+		}
+	}
+	buf = binary.AppendVarint(buf, int64(l.Delays.DelayOne))
+	buf = binary.AppendVarint(buf, int64(l.Delays.DelayZero))
+	if l.Schedule != nil {
+		buf = binary.AppendUvarint(buf, uint64(len(l.Schedule)))
+		for _, round := range l.Schedule {
+			buf = binary.AppendUvarint(buf, uint64(len(round)))
+			for _, v := range round {
+				buf = binary.AppendUvarint(buf, uint64(v))
+			}
+		}
+	}
+	if l.Stages != nil {
+		buf = binary.AppendUvarint(buf, uint64(l.Stages.L))
+		restricted := byte(0)
+		if l.Stages.Restricted {
+			restricted = 1
+		}
+		buf = append(buf, restricted)
+		buf = binary.AppendUvarint(buf, uint64(l.Stages.Stalled))
+		doms, news := l.Stages.StageSets()
+		buf = binary.AppendUvarint(buf, uint64(len(doms)))
+		appendList := func(list []int) {
+			buf = binary.AppendUvarint(buf, uint64(len(list)))
+			for _, v := range list {
+				buf = binary.AppendUvarint(buf, uint64(v))
+			}
+		}
+		for i := range doms {
+			appendList(doms[i])
+			appendList(news[i])
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a labeling previously produced by MarshalBinary,
+// reconstructing the graph and (for λ-family schemes) the stage structure,
+// so the result runs and verifies exactly like the original. It implements
+// encoding.BinaryUnmarshaler. Corrupt, truncated or self-contradictory
+// input returns an error.
+func (l *Labeling) UnmarshalBinary(data []byte) error {
+	if len(data) < len(labelingMagic)+4 {
+		return fmt.Errorf("radiobcast: labeling codec: %d-byte input too short", len(data))
+	}
+	if string(data[:len(labelingMagic)]) != labelingMagic {
+		return fmt.Errorf("radiobcast: labeling codec: bad magic %q (want %q)", data[:len(labelingMagic)], labelingMagic)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return fmt.Errorf("radiobcast: labeling codec: checksum mismatch (corrupt input)")
+	}
+	d := &decoder{buf: body[len(labelingMagic):]}
+
+	scheme, err := d.str("scheme name")
+	if err != nil {
+		return err
+	}
+	source, err := d.varint("source")
+	if err != nil {
+		return err
+	}
+	z, err := d.varint("z")
+	if err != nil {
+		return err
+	}
+	r, err := d.varint("r")
+	if err != nil {
+		return err
+	}
+
+	n, err := d.count("node count", 1)
+	if err != nil {
+		return err
+	}
+	m, err := d.count("edge count", 2)
+	if err != nil {
+		return err
+	}
+	// Every graph the facade produces is connected, so n ≤ m+1; enforcing
+	// it here bounds the allocation below by the input length.
+	if n > m+1 {
+		return fmt.Errorf("radiobcast: labeling codec: %d nodes with %d edges cannot be connected", n, m)
+	}
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, err := d.varuint("edge endpoint")
+		if err != nil {
+			return err
+		}
+		v, err := d.varuint("edge endpoint")
+		if err != nil {
+			return err
+		}
+		if u >= n || v >= n || u == v {
+			return fmt.Errorf("radiobcast: labeling codec: bad edge {%d,%d} in %d-node graph", u, v, n)
+		}
+		g.AddEdge(u, v)
+	}
+	if g.M() != m {
+		return fmt.Errorf("radiobcast: labeling codec: duplicate edges (%d listed, %d distinct)", m, g.M())
+	}
+	if !g.IsConnected() {
+		return fmt.Errorf("radiobcast: labeling codec: graph is not connected")
+	}
+	if source < 0 || source >= n {
+		return fmt.Errorf("radiobcast: labeling codec: source %d out of range [0,%d)", source, n)
+	}
+	if z < -1 || z >= n || r < -1 || r >= n {
+		return fmt.Errorf("radiobcast: labeling codec: z=%d or r=%d out of range for n=%d", z, r, n)
+	}
+
+	flags, err := d.byte("flags")
+	if err != nil {
+		return err
+	}
+	if flags&^byte(flagHasLabels|flagHasSchedule|flagHasStages) != 0 {
+		return fmt.Errorf("radiobcast: labeling codec: unknown flag bits %#x", flags)
+	}
+
+	var labels []Label
+	if flags&flagHasLabels != 0 {
+		labels = make([]Label, n)
+		for v := 0; v < n; v++ {
+			s, err := d.str("label")
+			if err != nil {
+				return err
+			}
+			labels[v] = Label(s)
+		}
+	}
+	delayOne, err := d.varint("delay-one")
+	if err != nil {
+		return err
+	}
+	delayZero, err := d.varint("delay-zero")
+	if err != nil {
+		return err
+	}
+
+	var schedule [][]int
+	if flags&flagHasSchedule != 0 {
+		rounds, err := d.count("schedule rounds", 1)
+		if err != nil {
+			return err
+		}
+		schedule = make([][]int, rounds)
+		for i := range schedule {
+			nodes, err := d.nodeList("schedule round", n)
+			if err != nil {
+				return err
+			}
+			schedule[i] = nodes
+		}
+	}
+
+	var stages *core.Stages
+	if flags&flagHasStages != 0 {
+		lStage, err := d.varuint("stage count ℓ")
+		if err != nil {
+			return err
+		}
+		restricted, err := d.byte("restricted flag")
+		if err != nil {
+			return err
+		}
+		stalled, err := d.varuint("stalled stage")
+		if err != nil {
+			return err
+		}
+		stored, err := d.count("stored stages", 2)
+		if err != nil {
+			return err
+		}
+		// Lemma 2.6: the construction has ℓ ≤ n stages. Rebuilding clones
+		// five n-bit sets per stage, so without this bound a small blob
+		// declaring a huge stage count would amplify to O(n·stages) memory.
+		if lStage > n || stored > n {
+			return fmt.Errorf("radiobcast: labeling codec: %d stages (ℓ=%d) for %d nodes", stored, lStage, n)
+		}
+		doms := make([][]int, stored)
+		news := make([][]int, stored)
+		for i := 0; i < stored; i++ {
+			if doms[i], err = d.nodeList("DOM", n); err != nil {
+				return err
+			}
+			if news[i], err = d.nodeList("NEW", n); err != nil {
+				return err
+			}
+		}
+		stages, err = core.RebuildStages(g, source, lStage, restricted != 0, stalled, doms, news)
+		if err != nil {
+			return fmt.Errorf("radiobcast: labeling codec: %w", err)
+		}
+	}
+	if d.rem() != 0 {
+		return fmt.Errorf("radiobcast: labeling codec: %d trailing bytes", d.rem())
+	}
+
+	*l = Labeling{
+		Scheme:   scheme,
+		Graph:    g,
+		Source:   source,
+		Labels:   labels,
+		Stages:   stages,
+		Z:        z,
+		R:        r,
+		Delays:   baseline.FloodingDelays{DelayOne: delayOne, DelayZero: delayZero},
+		Schedule: schedule,
+	}
+	return nil
+}
+
+// WriteLabeling writes the labeling's wire format to w — the transport
+// half of the paper's central-monitor story: label here, run anywhere.
+func WriteLabeling(w io.Writer, l *Labeling) error {
+	buf, err := l.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadLabeling reads one labeling in the wire format from r (consuming r
+// to EOF) and returns it ready for RunLabeled.
+func ReadLabeling(r io.Reader) (*Labeling, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	l := new(Labeling)
+	if err := l.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// decoder reads the wire format with every count bounded by the remaining
+// input, so corrupt length fields fail instead of allocating.
+type decoder struct {
+	buf []byte
+}
+
+func (d *decoder) rem() int { return len(d.buf) }
+
+func (d *decoder) byte(what string) (byte, error) {
+	if len(d.buf) == 0 {
+		return 0, fmt.Errorf("radiobcast: labeling codec: truncated at %s", what)
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b, nil
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, k := binary.Uvarint(d.buf)
+	if k <= 0 {
+		return 0, fmt.Errorf("radiobcast: labeling codec: truncated or malformed uvarint at %s", what)
+	}
+	d.buf = d.buf[k:]
+	return v, nil
+}
+
+// varuint reads a uvarint that must fit int32 (so the conversion below
+// is safe even where int is 32 bits).
+func (d *decoder) varuint(what string) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v >= 1<<31 {
+		return 0, fmt.Errorf("radiobcast: labeling codec: %s %d implausibly large", what, v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) varint(what string) (int, error) {
+	v, k := binary.Varint(d.buf)
+	if k <= 0 {
+		return 0, fmt.Errorf("radiobcast: labeling codec: truncated or malformed varint at %s", what)
+	}
+	d.buf = d.buf[k:]
+	if v >= 1<<31 || v < -(1<<31) {
+		return 0, fmt.Errorf("radiobcast: labeling codec: %s %d implausibly large", what, v)
+	}
+	return int(v), nil
+}
+
+// count reads a length field and requires the remaining input to hold at
+// least minBytesPer bytes per counted element, bounding any subsequent
+// allocation by the input size.
+func (d *decoder) count(what string, minBytesPer int) (int, error) {
+	v, err := d.varuint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v*minBytesPer > len(d.buf) {
+		return 0, fmt.Errorf("radiobcast: labeling codec: %s %d exceeds remaining input", what, v)
+	}
+	return v, nil
+}
+
+func (d *decoder) str(what string) (string, error) {
+	k, err := d.count(what, 1)
+	if err != nil {
+		return "", err
+	}
+	s := string(d.buf[:k])
+	d.buf = d.buf[k:]
+	return s, nil
+}
+
+func (d *decoder) nodeList(what string, n int) ([]int, error) {
+	k, err := d.count(what, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, k)
+	for i := range out {
+		v, err := d.varuint(what + " node")
+		if err != nil {
+			return nil, err
+		}
+		if v >= n {
+			return nil, fmt.Errorf("radiobcast: labeling codec: %s node %d out of range [0,%d)", what, v, n)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

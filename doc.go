@@ -12,17 +12,35 @@
 // and registers itself by name. A full run is one call:
 //
 //	net, _ := radiobcast.Family("grid", 64)
-//	out, _ := radiobcast.Run(net, "barb", radiobcast.WithWorkers(-1))
+//	out, _ := radiobcast.RunCtx(ctx, net, "barb", radiobcast.WithWorkers(-1))
 //	err := radiobcast.Verify(out)
 //
-// Label once and broadcast many times with LabelNetwork + RunLabeled;
-// tune runs with functional options (WithWorkers, WithMaxRounds,
-// WithTrace, WithFaults, WithSim, WithDenseEngine, WithQuick, WithSource,
-// …); enumerate algorithms with Schemes and plug in new ones with
-// Register. RunSweep executes a whole families × sizes × schemes ×
-// sources × fault-rates grid as one batched job on a worker pool that
-// shares frozen graphs and labelings across cells and reuses one
-// simulation engine (Sim) per worker.
+// Serving workloads go through a Session, which caches labelings by
+// graph structure and pools simulation engines, so the steady state of
+// the paper's label-once/run-many regime neither relabels nor
+// reallocates:
+//
+//	sess := radiobcast.NewSession()
+//	out, _ := sess.Run(ctx, net, "b", radiobcast.WithMessage("µ"))
+//	for cell, err := range sess.Sweep(ctx, spec) { ... }
+//
+// Every run is cancellable: the engine checks ctx between rounds and a
+// cancelled run returns its partial Outcome together with ctx.Err().
+// Setup failures are typed — match errors.Is against ErrUnknownScheme,
+// ErrNodeOutOfRange, ErrNilNetwork, ErrLabelingMismatch. Labelings are
+// durable artifacts: MarshalBinary/UnmarshalBinary (and WriteLabeling/
+// ReadLabeling) give them a versioned wire format that reruns
+// bit-identically in another process.
+//
+// Label once and broadcast many times with LabelNetwork + RunLabeled
+// (ctx variants: LabelNetworkCtx, RunLabeledCtx; the context-free names
+// are kept as context.Background() wrappers); tune runs with functional
+// options (WithWorkers, WithMaxRounds, WithTrace, WithFaults, WithSim,
+// WithDenseEngine, WithQuick, WithSource, …); enumerate algorithms with
+// Schemes and plug in new ones with Register. RunSweep executes a whole
+// families × sizes × schemes × sources × fault-rates grid as one batched
+// job on a worker pool that shares frozen graphs and labelings across
+// cells and reuses one simulation engine (Sim) per worker.
 //
 // The machinery lives under internal/:
 //

@@ -1,0 +1,83 @@
+package radiobcast
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for every impossible-setup failure the facade can
+// report. All facade entry points wrap these, so callers branch with
+// errors.Is regardless of the message text:
+//
+//	if errors.Is(err, radiobcast.ErrUnknownScheme) { ... }
+//
+// The structured types below (UnknownSchemeError, NodeOutOfRangeError,
+// LabelingMismatchError) carry the offending values for errors.As.
+// Cancellation is NOT one of these: a cancelled run returns the ctx's own
+// error (context.Canceled / context.DeadlineExceeded) alongside partial
+// results.
+var (
+	// ErrUnknownScheme reports a scheme name absent from the registry.
+	ErrUnknownScheme = errors.New("unknown scheme")
+	// ErrNodeOutOfRange reports a source or coordinator outside [0, n).
+	ErrNodeOutOfRange = errors.New("node out of range")
+	// ErrNilNetwork reports a nil *Network or a Network with a nil Graph.
+	ErrNilNetwork = errors.New("nil network")
+	// ErrLabelingMismatch reports a Labeling unusable for the requested
+	// run: nil, missing its graph, or a decoded wire format whose contents
+	// contradict themselves.
+	ErrLabelingMismatch = errors.New("labeling mismatch")
+)
+
+// UnknownSchemeError is the errors.As carrier for ErrUnknownScheme.
+type UnknownSchemeError struct {
+	// Name is the scheme name that failed to resolve.
+	Name string
+	// Registered lists the names that would have resolved.
+	Registered []string
+}
+
+func (e *UnknownSchemeError) Error() string {
+	return fmt.Sprintf("radiobcast: unknown scheme %q (registered: %v)", e.Name, e.Registered)
+}
+
+func (e *UnknownSchemeError) Unwrap() error { return ErrUnknownScheme }
+
+// unknownScheme builds the canonical unknown-scheme error.
+func unknownScheme(name string) error {
+	return &UnknownSchemeError{Name: name, Registered: SchemeNames()}
+}
+
+// NodeOutOfRangeError is the errors.As carrier for ErrNodeOutOfRange.
+type NodeOutOfRangeError struct {
+	// Role says which knob was out of range ("source", "coordinator").
+	Role string
+	// Node is the offending node id; N is the graph's node count.
+	Node, N int
+}
+
+func (e *NodeOutOfRangeError) Error() string {
+	return fmt.Sprintf("radiobcast: %s %d out of range [0,%d)", e.Role, e.Node, e.N)
+}
+
+func (e *NodeOutOfRangeError) Unwrap() error { return ErrNodeOutOfRange }
+
+// LabelingMismatchError is the errors.As carrier for ErrLabelingMismatch.
+type LabelingMismatchError struct {
+	// Reason describes the mismatch.
+	Reason string
+}
+
+func (e *LabelingMismatchError) Error() string {
+	return "radiobcast: labeling mismatch: " + e.Reason
+}
+
+func (e *LabelingMismatchError) Unwrap() error { return ErrLabelingMismatch }
+
+func labelingMismatch(format string, args ...any) error {
+	return &LabelingMismatchError{Reason: fmt.Sprintf(format, args...)}
+}
+
+func nilNetwork() error {
+	return fmt.Errorf("radiobcast: %w", ErrNilNetwork)
+}

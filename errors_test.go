@@ -1,0 +1,114 @@
+// Tests for the facade's typed error contract: every impossible-setup
+// failure is matchable with errors.Is against the package sentinels and
+// carries its specifics for errors.As.
+package radiobcast_test
+
+import (
+	"errors"
+	"testing"
+
+	"radiobcast"
+)
+
+func figNet(t *testing.T) *radiobcast.Network {
+	t.Helper()
+	net, err := radiobcast.Family("grid", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestErrNilNetwork(t *testing.T) {
+	for name, call := range map[string]func() error{
+		"Run":          func() error { _, err := radiobcast.Run(nil, "b"); return err },
+		"LabelNetwork": func() error { _, err := radiobcast.LabelNetwork(nil, "b"); return err },
+		"nil graph":    func() error { _, err := radiobcast.Run(&radiobcast.Network{}, "b"); return err },
+	} {
+		if err := call(); !errors.Is(err, radiobcast.ErrNilNetwork) {
+			t.Fatalf("%s: err = %v, want ErrNilNetwork", name, err)
+		}
+	}
+}
+
+func TestErrUnknownScheme(t *testing.T) {
+	net := figNet(t)
+	_, err := radiobcast.Run(net, "no-such-scheme")
+	if !errors.Is(err, radiobcast.ErrUnknownScheme) {
+		t.Fatalf("err = %v, want ErrUnknownScheme", err)
+	}
+	var us *radiobcast.UnknownSchemeError
+	if !errors.As(err, &us) || us.Name != "no-such-scheme" || len(us.Registered) == 0 {
+		t.Fatalf("errors.As carrier = %+v", us)
+	}
+	if _, err := radiobcast.LabelNetwork(net, "nope"); !errors.Is(err, radiobcast.ErrUnknownScheme) {
+		t.Fatalf("LabelNetwork err = %v, want ErrUnknownScheme", err)
+	}
+	if err := radiobcast.Verify(&radiobcast.Outcome{Scheme: "nope"}); !errors.Is(err, radiobcast.ErrUnknownScheme) {
+		t.Fatalf("Verify err = %v, want ErrUnknownScheme", err)
+	}
+	if _, err := radiobcast.RunSweep(radiobcast.SweepSpec{
+		Families: []string{"path"}, Sizes: []int{8}, Schemes: []string{"nope"},
+	}); !errors.Is(err, radiobcast.ErrUnknownScheme) {
+		t.Fatalf("RunSweep err = %v, want ErrUnknownScheme", err)
+	}
+}
+
+func TestErrNodeOutOfRange(t *testing.T) {
+	net := figNet(t)
+	_, err := radiobcast.Run(net, "b", radiobcast.WithSource(99))
+	if !errors.Is(err, radiobcast.ErrNodeOutOfRange) {
+		t.Fatalf("err = %v, want ErrNodeOutOfRange", err)
+	}
+	var oor *radiobcast.NodeOutOfRangeError
+	if !errors.As(err, &oor) || oor.Role != "source" || oor.Node != 99 || oor.N != 16 {
+		t.Fatalf("errors.As carrier = %+v", oor)
+	}
+	_, err = radiobcast.Run(net, "barb", radiobcast.WithCoordinator(-3))
+	if !errors.As(err, &oor) || oor.Role != "coordinator" {
+		t.Fatalf("coordinator err = %v", err)
+	}
+}
+
+// TestErrLabelingMismatch pins the satellite fix: RunLabeled rejects nil
+// or graphless labelings with a typed error instead of panicking
+// downstream.
+func TestErrLabelingMismatch(t *testing.T) {
+	if _, err := radiobcast.RunLabeled(nil); !errors.Is(err, radiobcast.ErrLabelingMismatch) {
+		t.Fatalf("nil labeling: err = %v, want ErrLabelingMismatch", err)
+	}
+	if _, err := radiobcast.RunLabeled(&radiobcast.Labeling{Scheme: "b"}); !errors.Is(err, radiobcast.ErrLabelingMismatch) {
+		t.Fatalf("graphless labeling: err = %v, want ErrLabelingMismatch", err)
+	}
+	net := figNet(t)
+	l, err := radiobcast.LabelNetwork(net, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *l
+	bad.Labels = bad.Labels[:3] // wrong cardinality
+	_, err = radiobcast.RunLabeled(&bad)
+	if !errors.Is(err, radiobcast.ErrLabelingMismatch) {
+		t.Fatalf("mis-sized labels: err = %v, want ErrLabelingMismatch", err)
+	}
+	var lm *radiobcast.LabelingMismatchError
+	if !errors.As(err, &lm) || lm.Reason == "" {
+		t.Fatalf("errors.As carrier = %+v", lm)
+	}
+	// A labeling with neither labels nor a schedule cannot drive any
+	// protocol — e.g. a wire blob whose flags were legitimately empty.
+	empty := &radiobcast.Labeling{Scheme: "b", Graph: net.Graph}
+	if _, err := radiobcast.RunLabeled(empty); !errors.Is(err, radiobcast.ErrLabelingMismatch) {
+		t.Fatalf("label-free labeling: err = %v, want ErrLabelingMismatch", err)
+	}
+	// The cross case: a schedule-only labeling stamped with a label
+	// scheme's name must error, not panic in the engine.
+	cross := &radiobcast.Labeling{Scheme: "b", Graph: net.Graph, Schedule: [][]int{{0}}}
+	if _, err := radiobcast.RunLabeled(cross); !errors.Is(err, radiobcast.ErrLabelingMismatch) {
+		t.Fatalf("schedule-only labeling under scheme b: err = %v, want ErrLabelingMismatch", err)
+	}
+	// A valid labeling still runs.
+	if _, err := radiobcast.RunLabeled(l, radiobcast.WithMessage("m")); err != nil {
+		t.Fatalf("valid labeling rejected: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"radiobcast/internal/graph"
+	"radiobcast/internal/nodeset"
+)
+
+// StageSets extracts the per-stage DOM_i and NEW_i node lists of the
+// construction, in stage order. Together with the graph and the source
+// they determine the whole structure: INF/UNINF/FRONTIER follow from the
+// recurrence of §2.1, so a serialized labeling only needs to carry these
+// two lists per stage (see RebuildStages).
+func (s *Stages) StageSets() (doms, news [][]int) {
+	doms = make([][]int, len(s.ByIndex))
+	news = make([][]int, len(s.ByIndex))
+	for i, st := range s.ByIndex {
+		doms[i] = st.Dom.Elements()
+		news[i] = st.New.Elements()
+	}
+	return doms, news
+}
+
+// RebuildStages reconstructs the full §2.1 stage structure from its
+// serialized core: the graph, the source, ℓ, and the per-stage DOM/NEW
+// lists produced by StageSets. INF/UNINF/FRONTIER are replayed through
+// the same recurrence BuildStages uses — INF_{i+1} = INF_i ∪ NEW_i,
+// FRONTIER_{i+1} = (FRONTIER_i ∪ Γ(NEW_i)) ∩ UNINF_{i+1} — so the result
+// is set-for-set equal to the original construction. Node lists are
+// validated against the graph's node range; out-of-range entries are an
+// error, never a panic (inputs may come from an untrusted wire format).
+func RebuildStages(g *graph.Graph, source, l int, restricted bool, stalled int, doms, news [][]int) (*Stages, error) {
+	n := g.N()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("core: rebuild: source %d out of range [0,%d)", source, n)
+	}
+	if len(doms) != len(news) {
+		return nil, fmt.Errorf("core: rebuild: %d DOM lists but %d NEW lists", len(doms), len(news))
+	}
+	if len(doms) == 0 {
+		return nil, fmt.Errorf("core: rebuild: no stages")
+	}
+	toSet := func(elems []int) (*nodeset.Set, error) {
+		set := nodeset.New(n)
+		for _, v := range elems {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("core: rebuild: stage node %d out of range [0,%d)", v, n)
+			}
+			set.Add(v)
+		}
+		return set, nil
+	}
+
+	st := &Stages{G: g, Source: source, L: l, Restricted: restricted, Stalled: stalled}
+	inf := nodeset.Of(n, source)
+	uninf := nodeset.Full(n)
+	uninf.Remove(source)
+	frontier := nodeset.New(n)
+	for _, w := range g.Neighbors(source) {
+		frontier.Add(w)
+	}
+	for i := range doms {
+		if i > 0 {
+			prevNew := st.ByIndex[i-1].New
+			inf = nodeset.Union(inf, prevNew)
+			uninf = nodeset.Subtract(uninf, prevNew)
+			frontier = nodeset.Intersect(frontier, uninf)
+			frontier.UnionWith(nodeset.Intersect(g.Neighborhood(prevNew), uninf))
+		}
+		dom, err := toSet(doms[i])
+		if err != nil {
+			return nil, err
+		}
+		newSet, err := toSet(news[i])
+		if err != nil {
+			return nil, err
+		}
+		st.ByIndex = append(st.ByIndex, Stage{
+			Inf: inf.Clone(), Uninf: uninf.Clone(), Frontier: frontier.Clone(),
+			Dom: dom, New: newSet,
+		})
+	}
+	return st, nil
+}

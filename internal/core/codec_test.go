@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"radiobcast/internal/graph"
+)
+
+// TestRebuildStagesMatchesConstruction pins the stage codec contract: the
+// DOM/NEW lists plus the graph determine the whole structure — rebuilding
+// from StageSets output reproduces every one of the five sets of every
+// stage, set-for-set.
+func TestRebuildStagesMatchesConstruction(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Figure1(),
+		graph.Path(17),
+		graph.Grid(5, 5),
+		graph.Complete(6),
+	} {
+		st, err := BuildStages(g, 0, BuildOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		doms, news := st.StageSets()
+		got, err := RebuildStages(g, st.Source, st.L, st.Restricted, st.Stalled, doms, news)
+		if err != nil {
+			t.Fatalf("%v: rebuild: %v", g, err)
+		}
+		if got.L != st.L || got.NumStored() != st.NumStored() {
+			t.Fatalf("%v: rebuilt ℓ=%d/%d stages, want ℓ=%d/%d", g, got.L, got.NumStored(), st.L, st.NumStored())
+		}
+		for i := 1; i <= st.NumStored(); i++ {
+			a, b := st.Stage(i), got.Stage(i)
+			if !a.Inf.Equal(b.Inf) || !a.Uninf.Equal(b.Uninf) || !a.Frontier.Equal(b.Frontier) ||
+				!a.Dom.Equal(b.Dom) || !a.New.Equal(b.New) {
+				t.Fatalf("%v: stage %d differs after rebuild", g, i)
+			}
+		}
+	}
+}
+
+// TestRebuildStagesRejectsBadInput ensures untrusted stage lists fail with
+// errors, not panics.
+func TestRebuildStagesRejectsBadInput(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := RebuildStages(g, 9, 2, false, 0, [][]int{{0}}, [][]int{{1}}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := RebuildStages(g, 0, 2, false, 0, [][]int{{0}, {1}}, [][]int{{1}}); err == nil {
+		t.Fatal("mismatched list lengths accepted")
+	}
+	if _, err := RebuildStages(g, 0, 2, false, 0, [][]int{{0}}, [][]int{{99}}); err == nil {
+		t.Fatal("out-of-range stage node accepted")
+	}
+	if _, err := RebuildStages(g, 0, 1, false, 0, nil, nil); err == nil {
+		t.Fatal("empty stage lists accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package graph
+
+// Fingerprint returns a 64-bit structural hash of the graph: two graphs
+// with the same node count and the same edge set (over the same node
+// numbering) have the same fingerprint. It is the cache key of the
+// facade's labeling cache — a labeling computed for one *Graph serves any
+// structurally identical one — and is computed over the frozen CSR form
+// (FNV-1a over n and the flattened adjacency), then cached until the next
+// AddEdge.
+//
+// Like Freeze, the cache write is not synchronised: when a graph is
+// shared across goroutines, call Fingerprint (or Freeze) once before
+// handing it out.
+func (g *Graph) Fingerprint() uint64 {
+	if g.fpValid {
+		return g.fp
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	csr := g.Freeze()
+	mix(uint64(g.n))
+	// Offsets are determined by Targets plus the per-node degrees; hashing
+	// both arrays pins the structure completely.
+	for _, o := range csr.Offsets {
+		mix(uint64(uint32(o)))
+	}
+	for _, t := range csr.Targets {
+		mix(uint64(uint32(t)))
+	}
+	g.fp = h
+	g.fpValid = true
+	return h
+}

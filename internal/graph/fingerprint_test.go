@@ -1,0 +1,37 @@
+package graph
+
+import "testing"
+
+func TestFingerprintStructural(t *testing.T) {
+	a, b := Grid(4, 4), Grid(4, 4)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("structurally identical graphs have different fingerprints")
+	}
+	if Path(16).Fingerprint() == Grid(4, 4).Fingerprint() {
+		t.Fatal("path and grid of the same size collide")
+	}
+	if Path(16).Fingerprint() == Path(17).Fingerprint() {
+		t.Fatal("paths of different lengths collide")
+	}
+}
+
+func TestFingerprintInvalidatedByAddEdge(t *testing.T) {
+	g := Path(8)
+	before := g.Fingerprint()
+	g.AddEdge(0, 7)
+	after := g.Fingerprint()
+	if before == after {
+		t.Fatal("AddEdge did not change the fingerprint")
+	}
+	want := Cycle(8).Fingerprint()
+	if after != want {
+		t.Fatal("path+closing edge does not fingerprint like the cycle")
+	}
+}
+
+func TestFingerprintCached(t *testing.T) {
+	g := Grid(5, 5)
+	if g.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+}

@@ -23,6 +23,9 @@ type Graph struct {
 	m    int
 	sets []*nodeset.Set // lazily built adjacency bitsets for O(1) HasEdge
 	csr  *CSR           // lazily built frozen form (see Freeze)
+
+	fp      uint64 // cached structural hash (see Fingerprint)
+	fpValid bool
 }
 
 // New returns an edgeless graph with n nodes.
@@ -61,6 +64,7 @@ func (g *Graph) AddEdge(u, v int) {
 	g.m++
 	g.sets = nil // invalidate caches
 	g.csr = nil
+	g.fpValid = false
 }
 
 func (g *Graph) insert(u, v int) {

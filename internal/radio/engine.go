@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"context"
 	"sync"
 
 	"radiobcast/internal/graph"
@@ -11,6 +12,14 @@ type Options struct {
 	// MaxRounds bounds the execution; the run stops after this many rounds
 	// even if traffic continues. Required (> 0).
 	MaxRounds int
+
+	// Ctx, when non-nil, makes the run cancellable: it is checked between
+	// rounds, and once the context is done the run stops before starting
+	// the next round. The Result then carries everything observed so far
+	// with Interrupted set — cancellation yields partial data, never a
+	// corrupt engine. A nil Ctx (the default) is never checked, so
+	// non-cancellable runs pay nothing.
+	Ctx context.Context
 
 	// StopAfterSilent, when > 0, stops the run once this many consecutive
 	// rounds had no transmissions. Algorithms whose every transmission is
@@ -77,6 +86,9 @@ type Result struct {
 	MaxMessageBits int
 	// SilentStopped reports whether the run ended via StopAfterSilent.
 	SilentStopped bool
+	// Interrupted reports that the run was cut short by Options.Ctx: the
+	// result is a valid prefix of the full execution, not its entirety.
+	Interrupted bool
 }
 
 // NoReception is the sentinel returned by FirstReception for a node that

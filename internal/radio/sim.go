@@ -26,7 +26,9 @@ type Waker interface {
 	// needs to observe the passage of time — assuming it hears neither a
 	// message nor noise in any intervening round. Returning NeverWake means
 	// the protocol stays passive until its next reception. Returning a
-	// round ≤ the current one is safe and simply disables skipping.
+	// round in 1..current is safe and simply disables skipping — but 0
+	// is NeverWake, which suspends the node until its next reception;
+	// implementations whose arithmetic can yield 0 must special-case it.
 	NextWake() int
 	// Skip informs the protocol that `rounds` rounds elapsed in which it
 	// was not stepped. Implementations advance their internal round counter
@@ -175,7 +177,16 @@ func (s *Sim) Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
 	rounds := 0
 	total := 0
 	silentStopped := false
+	interrupted := false
 	for round := 1; round <= opt.MaxRounds; round++ {
+		// Cancellation is checked between rounds: a cancelled run stops
+		// before the next round and materializes the prefix executed so
+		// far, so callers get partial results promptly (bounded by one
+		// round) instead of waiting out MaxRounds.
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		nx := 1 - s.cur
 
 		// Phase 1: every node decides based on history through round−1.
@@ -249,6 +260,7 @@ func (s *Sim) Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
 		}
 	}
 	res := s.materialize(rounds, total, silentStopped)
+	res.Interrupted = interrupted
 	s.release()
 	return res
 }

@@ -1,11 +1,16 @@
 package radio
 
+import "context"
+
 // Tuning carries the caller-adjustable engine knobs that are orthogonal to
 // a runner's scheme-specific Options (round bounds, stop predicates). The
 // public facade builds one Tuning from its functional options and every
 // runner layers it onto its base Options with Options.With, so workers,
 // tracing and fault injection reach all schemes through one path.
 type Tuning struct {
+	// Ctx, when non-nil, makes the run cancellable between rounds (see
+	// Options.Ctx).
+	Ctx context.Context
 	// Workers overrides Options.Workers when non-zero (see Options.Workers:
 	// < 0 means GOMAXPROCS).
 	Workers int
@@ -28,6 +33,9 @@ type Tuning struct {
 func (o Options) With(t *Tuning) Options {
 	if t == nil {
 		return o
+	}
+	if t.Ctx != nil {
+		o.Ctx = t.Ctx
 	}
 	if t.Workers != 0 {
 		o.Workers = t.Workers

@@ -1,10 +1,12 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestMapOrderPreserved(t *testing.T) {
@@ -84,6 +86,110 @@ func TestGrid(t *testing.T) {
 	}
 	if g[0].First != "a" || g[0].Second != 1 || g[5].First != "b" || g[5].Second != 3 {
 		t.Fatalf("grid = %v", g)
+	}
+}
+
+func TestMapIdxCtxCompletesInOrder(t *testing.T) {
+	items := make([]int, 200)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := MapIdxCtx(context.Background(), items, 8, func(_, x int) int { return x * 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 2*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, 2*i)
+		}
+	}
+}
+
+// TestMapIdxCtxCancelStopsDispatch pins the between-items cancellation
+// contract: once the context is done, no further items are dispatched —
+// each worker finishes at most the item it is running — and the call
+// returns the partial results together with ctx.Err().
+func TestMapIdxCtxCancelStopsDispatch(t *testing.T) {
+	const n, workers, cancelAt = 500, 4, 10
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	items := make([]int, n)
+	var processed atomic.Int64
+	out, err := MapIdxCtx(ctx, items, workers, func(_, _ int) int {
+		if processed.Add(1) == cancelAt {
+			cancel()
+		}
+		return 1
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	done := 0
+	for _, v := range out {
+		done += v
+	}
+	// At most the in-flight item per worker may complete after the cancel.
+	if done < cancelAt || done > cancelAt+workers {
+		t.Fatalf("%d items completed, want within [%d, %d]", done, cancelAt, cancelAt+workers)
+	}
+	if done == n {
+		t.Fatal("cancellation did not stop the grid")
+	}
+}
+
+// TestStreamIdxDeliversEverythingOnce checks the stream contract: a
+// consumer that drains the channel receives every result exactly once,
+// even when the grid far exceeds the bounded buffer.
+func TestStreamIdxDeliversEverythingOnce(t *testing.T) {
+	const n = 2000 // > streamBuffer, so workers must block and resume
+	ch, _ := StreamIdx(context.Background(), n, 8, func(_, i int) int { return i })
+	seen := make([]bool, n)
+	count := 0
+	for v := range ch {
+		if seen[v] {
+			t.Fatalf("result %d delivered twice", v)
+		}
+		seen[v] = true
+		count++
+	}
+	if count != n {
+		t.Fatalf("received %d results, want %d", count, n)
+	}
+}
+
+// TestStreamIdxAbandonUnblocksWorkers: a consumer that stops reading and
+// abandons the stream must not strand workers blocked on a full buffer.
+func TestStreamIdxAbandonUnblocksWorkers(t *testing.T) {
+	const n = 5000
+	var started atomic.Int64
+	ch, abandon := StreamIdx(context.Background(), n, 4, func(_, i int) int {
+		started.Add(1)
+		return i
+	})
+	<-ch // read one result, then walk away
+	abandon()
+	// The dispatcher stops and workers exit; the channel must close even
+	// though nobody drains the rest.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				if started.Load() == n {
+					t.Fatal("abandon did not stop dispatch")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream never closed after abandon")
+		}
+	}
+}
+
+func TestStreamIdxEmpty(t *testing.T) {
+	ch, _ := StreamIdx(context.Background(), 0, 4, func(_, i int) int { return i })
+	if _, ok := <-ch; ok {
+		t.Fatal("empty stream delivered a result")
 	}
 }
 

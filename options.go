@@ -1,6 +1,8 @@
 package radiobcast
 
 import (
+	"context"
+
 	"radiobcast/internal/core"
 	"radiobcast/internal/radio"
 )
@@ -45,6 +47,9 @@ type Config struct {
 	// either way; the knob exists for differential tests and benchmarks.
 	DenseEngine bool
 
+	// ctx is the run's context, set by the *Ctx entry points and checked
+	// by the engine between rounds; nil means "never cancelled".
+	ctx context.Context
 	// source is the WithSource override; -1 means "use the Network's /
 	// Labeling's source".
 	source int
@@ -131,6 +136,7 @@ func newConfig(opts []Option) *Config {
 // runner accepts.
 func (c *Config) tuning() *radio.Tuning {
 	return &radio.Tuning{
+		Ctx:           c.ctx,
 		Workers:       c.Workers,
 		MaxRounds:     c.MaxRounds,
 		Trace:         c.Trace,

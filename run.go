@@ -1,7 +1,7 @@
 package radiobcast
 
 import (
-	"fmt"
+	"context"
 
 	"radiobcast/internal/radio"
 )
@@ -10,11 +10,18 @@ import (
 // paper's one-time "central monitor" step. The labeling can then serve any
 // number of RunLabeled broadcasts.
 func LabelNetwork(net *Network, scheme string, opts ...Option) (*Labeling, error) {
-	s, cfg, err := resolve(net, scheme, opts)
+	return LabelNetworkCtx(context.Background(), net, scheme, opts...)
+}
+
+// LabelNetworkCtx is LabelNetwork with cancellation: a done ctx aborts
+// before (or, for searching schemes, between) the expensive work and
+// returns ctx.Err().
+func LabelNetworkCtx(ctx context.Context, net *Network, scheme string, opts ...Option) (*Labeling, error) {
+	s, cfg, source, err := prepare(ctx, net, scheme, opts)
 	if err != nil {
 		return nil, err
 	}
-	return s.Label(net.Graph, cfg.sourceOr(net.Source), cfg)
+	return s.Label(net.Graph, source, cfg)
 }
 
 // Run labels the network with the named scheme and executes one broadcast:
@@ -24,15 +31,28 @@ func LabelNetwork(net *Network, scheme string, opts ...Option) (*Labeling, error
 // A run whose broadcast does not complete is NOT an error — inspect
 // out.AllInformed or call Verify(out), which checks the scheme's full
 // guarantees. Errors mean the setup was impossible (unknown scheme, no
-// labeling exists, …).
+// labeling exists, …); match them with errors.Is against ErrUnknownScheme,
+// ErrNilNetwork, ErrNodeOutOfRange.
 func Run(net *Network, scheme string, opts ...Option) (*Outcome, error) {
-	s, cfg, err := resolve(net, scheme, opts)
+	return RunCtx(context.Background(), net, scheme, opts...)
+}
+
+// RunCtx is Run with cancellation: the engine checks ctx between rounds,
+// so a hung or oversized job stops within one round of cancellation. A
+// cancelled run returns the partial Outcome observed so far TOGETHER with
+// ctx.Err() — callers that only check the error lose nothing, callers
+// serving deadlines can still report the prefix. The Outcome's
+// Result.Interrupted is true in that case.
+func RunCtx(ctx context.Context, net *Network, scheme string, opts ...Option) (*Outcome, error) {
+	s, cfg, source, err := prepare(ctx, net, scheme, opts)
 	if err != nil {
 		return nil, err
 	}
-	source := cfg.sourceOr(net.Source)
 	l, err := s.Label(net.Graph, source, cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	return finish(s, l, source, cfg)
@@ -42,13 +62,14 @@ func Run(net *Network, scheme string, opts ...Option) (*Outcome, error) {
 // The source defaults to the labeling's source; schemes whose labels are
 // source-independent ("barb") accept any WithSource override.
 func RunLabeled(l *Labeling, opts ...Option) (*Outcome, error) {
-	s, ok := Lookup(l.Scheme)
-	if !ok {
-		return nil, fmt.Errorf("radiobcast: labeling names unregistered scheme %q", l.Scheme)
-	}
-	cfg := newConfig(opts)
-	source := cfg.sourceOr(l.Source)
-	if err := checkNode(l.Graph, source, "source"); err != nil {
+	return RunLabeledCtx(context.Background(), l, opts...)
+}
+
+// RunLabeledCtx is RunLabeled with cancellation (see RunCtx for the
+// partial-result contract).
+func RunLabeledCtx(ctx context.Context, l *Labeling, opts ...Option) (*Outcome, error) {
+	s, cfg, source, err := prepareLabeled(ctx, l, opts)
+	if err != nil {
 		return nil, err
 	}
 	return finish(s, l, source, cfg)
@@ -60,7 +81,7 @@ func RunLabeled(l *Labeling, opts ...Option) (*Outcome, error) {
 func Verify(out *Outcome) error {
 	s, ok := Lookup(out.Scheme)
 	if !ok {
-		return fmt.Errorf("radiobcast: outcome names unregistered scheme %q", out.Scheme)
+		return unknownScheme(out.Scheme)
 	}
 	return s.Verify(out)
 }
@@ -80,11 +101,11 @@ func Annotate(out *Outcome) string {
 
 func resolve(net *Network, scheme string, opts []Option) (Scheme, *Config, error) {
 	if net == nil || net.Graph == nil {
-		return nil, nil, fmt.Errorf("radiobcast: nil network")
+		return nil, nil, nilNetwork()
 	}
 	s, ok := Lookup(scheme)
 	if !ok {
-		return nil, nil, fmt.Errorf("radiobcast: unknown scheme %q (registered: %v)", scheme, SchemeNames())
+		return nil, nil, unknownScheme(scheme)
 	}
 	cfg := newConfig(opts)
 	if !cfg.coordinatorSet {
@@ -99,11 +120,74 @@ func resolve(net *Network, scheme string, opts []Option) (Scheme, *Config, error
 	return s, cfg, nil
 }
 
+// prepare runs the shared entry prologue: resolve network and scheme,
+// install the context, honour a pre-existing cancellation, and settle the
+// source. Both the package-level and the Session entry points sit on it.
+func prepare(ctx context.Context, net *Network, scheme string, opts []Option) (Scheme, *Config, int, error) {
+	s, cfg, err := resolve(net, scheme, opts)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg.ctx = ctx
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, 0, err
+	}
+	return s, cfg, cfg.sourceOr(net.Source), nil
+}
+
+// prepareLabeled is prepare for the pre-labeled entry points.
+func prepareLabeled(ctx context.Context, l *Labeling, opts []Option) (Scheme, *Config, int, error) {
+	s, cfg, err := resolveLabeled(l, opts)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg.ctx = ctx
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, 0, err
+	}
+	source := cfg.sourceOr(l.Source)
+	if err := checkNode(l.Graph, source, "source"); err != nil {
+		return nil, nil, 0, err
+	}
+	return s, cfg, source, nil
+}
+
+// resolveLabeled validates a caller-supplied labeling before running on
+// it; hand-assembled or wire-decoded labelings reach the schemes only
+// through here, so the checks are deliberately defensive.
+func resolveLabeled(l *Labeling, opts []Option) (Scheme, *Config, error) {
+	if l == nil {
+		return nil, nil, labelingMismatch("nil labeling")
+	}
+	if l.Graph == nil {
+		return nil, nil, labelingMismatch("labeling for scheme %q has no graph", l.Scheme)
+	}
+	if l.Labels == nil && l.Schedule == nil {
+		return nil, nil, labelingMismatch("labeling for scheme %q carries neither labels nor a schedule", l.Scheme)
+	}
+	if l.Labels != nil && len(l.Labels) != l.Graph.N() {
+		return nil, nil, labelingMismatch("%d labels for %d nodes", len(l.Labels), l.Graph.N())
+	}
+	s, ok := Lookup(l.Scheme)
+	if !ok {
+		return nil, nil, unknownScheme(l.Scheme)
+	}
+	return s, newConfig(opts), nil
+}
+
 func checkNode(g *Graph, v int, role string) error {
 	if v < 0 || v >= g.N() {
-		return fmt.Errorf("radiobcast: %s %d out of range [0,%d)", role, v, g.N())
+		return &NodeOutOfRangeError{Role: role, Node: v, N: g.N()}
 	}
 	return nil
+}
+
+// ctxErr reports a done context (nil-safe: a nil ctx never cancels).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 func (c *Config) sourceOr(fallback int) int {
@@ -114,7 +198,9 @@ func (c *Config) sourceOr(fallback int) int {
 }
 
 // finish runs the scheme and fills the outcome fields common to all
-// schemes, so adapters only populate what is specific to them.
+// schemes, so adapters only populate what is specific to them. When the
+// run was cut short by the Config's context, the partial outcome is
+// returned together with the ctx error.
 func finish(s Scheme, l *Labeling, source int, cfg *Config) (*Outcome, error) {
 	out, err := s.Run(l, source, cfg)
 	if err != nil {
@@ -128,6 +214,9 @@ func finish(s Scheme, l *Labeling, source int, cfg *Config) (*Outcome, error) {
 		// Schemes may install their own labeling (centralized recomputes
 		// its schedule for an overridden source); keep it.
 		out.Labeling = l
+	}
+	if err := ctxErr(cfg.ctx); err != nil {
+		return out, err
 	}
 	return out, nil
 }

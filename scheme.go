@@ -87,6 +87,18 @@ func (l *Labeling) Strings() []string { return core.Strings(l.Labels) }
 // Histogram counts nodes per label value.
 func (l *Labeling) Histogram() map[Label]int { return core.Histogram(l.Labels) }
 
+// checkLabels verifies the labeling carries one label per node — the
+// precondition of every label-driven scheme's Run. Facade validation
+// already rejects most malformed labelings; this closes the remaining
+// cross case (e.g. a schedule-only labeling stamped with a label scheme's
+// name), returning ErrLabelingMismatch instead of panicking downstream.
+func (l *Labeling) checkLabels() error {
+	if len(l.Labels) != l.Graph.N() {
+		return labelingMismatch("scheme %q needs %d labels, labeling has %d", l.Scheme, l.Graph.N(), len(l.Labels))
+	}
+	return nil
+}
+
 // coreLabeling recovers the internal λ-family labeling, reconstructing it
 // from the public fields when the Labeling was assembled by hand.
 func (l *Labeling) coreLabeling() *core.Labeling {

@@ -68,6 +68,9 @@ func (roundRobinScheme) Protocols(l *Labeling, source int, mu string) ([]Protoco
 }
 
 func (r roundRobinScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	if err := l.checkLabels(); err != nil {
+		return nil, err
+	}
 	ps, _ := r.Protocols(l, source, cfg.Mu)
 	maxRounds := baseline.SlottedMaxRounds(l.Graph, source, l.Bits())
 	out, _ := baseline.Observe(l.Graph, ps, source, maxRounds, l.Labels, cfg.tuning())
@@ -100,6 +103,9 @@ func (colorRobinScheme) Protocols(l *Labeling, source int, mu string) ([]Protoco
 }
 
 func (c colorRobinScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	if err := l.checkLabels(); err != nil {
+		return nil, err
+	}
 	ps, _ := c.Protocols(l, source, cfg.Mu)
 	maxRounds := baseline.SlottedMaxRounds(l.Graph, source, l.Bits())
 	out, _ := baseline.Observe(l.Graph, ps, source, maxRounds, l.Labels, cfg.tuning())
@@ -190,6 +196,9 @@ func (floodingScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol,
 }
 
 func (f floodingScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	if err := l.checkLabels(); err != nil {
+		return nil, err
+	}
 	ps, _ := f.Protocols(l, source, cfg.Mu)
 	maxRounds := baseline.FloodingMaxRounds(l.Graph.N())
 	out, _ := baseline.Observe(l.Graph, ps, source, maxRounds, l.Labels, cfg.tuning())

@@ -34,6 +34,9 @@ func (bScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, error)
 }
 
 func (bScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	if err := l.checkLabels(); err != nil {
+		return nil, err
+	}
 	out, err := core.RunBroadcastTuned(l.Graph, l.coreLabeling(), source, cfg.Mu, cfg.tuning())
 	if err != nil {
 		return nil, err
@@ -77,6 +80,9 @@ func (backScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, err
 }
 
 func (backScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	if err := l.checkLabels(); err != nil {
+		return nil, err
+	}
 	out, err := core.RunAcknowledgedTuned(l.Graph, l.coreLabeling(), source, cfg.Mu, cfg.tuning())
 	if err != nil {
 		return nil, err
@@ -122,6 +128,9 @@ func (barbScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, err
 }
 
 func (barbScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	if err := l.checkLabels(); err != nil {
+		return nil, err
+	}
 	out, err := core.RunArbitraryTuned(l.Graph, l.coreLabeling(), source, cfg.Mu, cfg.tuning())
 	if err != nil {
 		return nil, err

@@ -57,6 +57,9 @@ func (onebitScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, e
 }
 
 func (o onebitScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	if err := l.checkLabels(); err != nil {
+		return nil, err
+	}
 	ps, _ := o.Protocols(l, source, cfg.Mu)
 	maxRounds := baseline.FloodingMaxRounds(l.Graph.N())
 	out, _ := baseline.Observe(l.Graph, ps, source, maxRounds, l.Labels, cfg.tuning())

@@ -1,0 +1,213 @@
+package radiobcast
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"radiobcast/internal/core"
+)
+
+// Session is the serving object of the facade: it owns a pool of reusable
+// simulation engines and an LRU cache of labelings keyed by (graph
+// fingerprint, scheme, source), so the steady state of a serve-many-runs
+// workload — the paper's "label once at a central monitor, then broadcast
+// forever" regime — neither relabels nor reallocates engine buffers. A
+// Session is safe for concurrent use; create one per process (or per
+// tenant) and route every request through it:
+//
+//	sess := radiobcast.NewSession()
+//	out, err := sess.Run(ctx, net, "b", radiobcast.WithMessage("µ"))
+//
+// The first Run for a topology pays the labeling; every later Run on a
+// structurally identical graph is a cache hit that goes straight to a
+// pooled engine. Stats reports hits, misses and evictions.
+//
+// One caveat inherited from Graph's lazy caches (Freeze, Fingerprint):
+// when a single *Graph value is shared by concurrent Runs, call its
+// Freeze once before handing it out — afterwards all uses are read-only.
+type Session struct {
+	sims sync.Pool
+
+	mu       sync.Mutex
+	capacity int
+	lru      list.List // of *cacheEntry, most recent first
+	index    map[labelingKey]*list.Element
+	stats    SessionStats
+}
+
+// labelingKey identifies a cached labeling. The fingerprint is a 64-bit
+// structural hash; n and m ride along so an (astronomically unlikely)
+// hash collision between different-sized graphs still cannot alias.
+// Coordinator is part of the key because "barb" labels depend on it.
+type labelingKey struct {
+	fp          uint64
+	n, m        int
+	scheme      string
+	source      int
+	coordinator int
+}
+
+type cacheEntry struct {
+	key labelingKey
+	l   *Labeling
+}
+
+// SessionStats counts the labeling cache's traffic. Entries is the
+// current cache size; the counters are cumulative.
+type SessionStats struct {
+	// Hits counts runs served from the cache (no labeling computed).
+	Hits uint64
+	// Misses counts labelings computed and inserted.
+	Misses uint64
+	// Bypasses counts labelings computed without consulting the cache
+	// (non-default build options, or a zero-capacity cache).
+	Bypasses uint64
+	// Evictions counts LRU entries discarded to make room.
+	Evictions uint64
+	// Entries is the number of labelings currently cached.
+	Entries int
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*Session)
+
+// DefaultLabelingCacheSize is the labeling-cache capacity of NewSession
+// unless WithLabelingCache overrides it.
+const DefaultLabelingCacheSize = 128
+
+// WithLabelingCache sets the labeling cache's capacity in entries; 0 (or
+// negative) disables caching entirely.
+func WithLabelingCache(capacity int) SessionOption {
+	return func(s *Session) {
+		if capacity < 0 {
+			capacity = 0
+		}
+		s.capacity = capacity
+	}
+}
+
+// NewSession returns a Session with an empty engine pool and labeling
+// cache.
+func NewSession(opts ...SessionOption) *Session {
+	s := &Session{capacity: DefaultLabelingCacheSize, index: map[labelingKey]*list.Element{}}
+	s.sims.New = func() any { return NewSim() }
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Stats returns a snapshot of the labeling cache's counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.lru.Len()
+	return st
+}
+
+// Label resolves the network and returns the scheme's labeling, serving
+// it from the session cache when possible (see Run for the cache key).
+func (s *Session) Label(ctx context.Context, net *Network, scheme string, opts ...Option) (*Labeling, error) {
+	sch, cfg, source, err := prepare(ctx, net, scheme, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.labelCached(sch, net.Graph, source, cfg)
+}
+
+// Run labels (or cache-hits) the network and executes one broadcast on a
+// pooled engine. It is RunCtx with the session's cache and Sim pool
+// in front: steady-state serving neither relabels nor reallocates engine
+// buffers. The cancellation contract is RunCtx's — partial Outcome plus
+// ctx.Err() on a cancelled run.
+func (s *Session) Run(ctx context.Context, net *Network, scheme string, opts ...Option) (*Outcome, error) {
+	sch, cfg, source, err := prepare(ctx, net, scheme, opts)
+	if err != nil {
+		return nil, err
+	}
+	l, err := s.labelCached(sch, net.Graph, source, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return s.finishPooled(sch, l, source, cfg)
+}
+
+// RunLabeled executes one broadcast over a caller-supplied labeling on a
+// pooled engine (the labeling cache is not consulted — the caller already
+// has the artifact, e.g. from ReadLabeling).
+func (s *Session) RunLabeled(ctx context.Context, l *Labeling, opts ...Option) (*Outcome, error) {
+	sch, cfg, source, err := prepareLabeled(ctx, l, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.finishPooled(sch, l, source, cfg)
+}
+
+// finishPooled is finish with a session-pooled Sim installed unless the
+// caller brought their own via WithSim.
+func (s *Session) finishPooled(sch Scheme, l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	if cfg.Sim == nil {
+		sim := s.sims.Get().(*Sim)
+		defer s.sims.Put(sim)
+		cfg.Sim = sim
+	}
+	return finish(sch, l, source, cfg)
+}
+
+// cacheable reports whether a labeling under cfg is a pure function of
+// (graph, scheme, source, coordinator). Non-default build options, quick
+// mode and non-default search seeds change the labels, so those label
+// calls bypass the cache instead of poisoning it.
+func cacheable(cfg *Config) bool {
+	return cfg.Build == (core.BuildOptions{}) && !cfg.Quick && cfg.Seed == 1
+}
+
+// labelCached serves sch.Label through the LRU. The labeling itself is
+// computed outside the session lock — concurrent misses on different keys
+// label in parallel; concurrent misses on the same key may both compute,
+// and the second insert is dropped (both labelings are identical, so
+// either serves).
+func (s *Session) labelCached(sch Scheme, g *Graph, source int, cfg *Config) (*Labeling, error) {
+	if s.capacity <= 0 || !cacheable(cfg) {
+		s.mu.Lock()
+		s.stats.Bypasses++
+		s.mu.Unlock()
+		return sch.Label(g, source, cfg)
+	}
+	key := labelingKey{
+		fp: g.Fingerprint(), n: g.N(), m: g.M(),
+		scheme: sch.Name(), source: source, coordinator: cfg.Coordinator,
+	}
+	s.mu.Lock()
+	if el, ok := s.index[key]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.Hits++
+		l := el.Value.(*cacheEntry).l
+		s.mu.Unlock()
+		return l, nil
+	}
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	l, err := sch.Label(g, source, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if _, ok := s.index[key]; !ok {
+		s.index[key] = s.lru.PushFront(&cacheEntry{key: key, l: l})
+		for s.lru.Len() > s.capacity {
+			oldest := s.lru.Back()
+			s.lru.Remove(oldest)
+			delete(s.index, oldest.Value.(*cacheEntry).key)
+			s.stats.Evictions++
+		}
+	}
+	s.mu.Unlock()
+	return l, nil
+}

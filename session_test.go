@@ -1,0 +1,235 @@
+// Tests for the Session serving object: the labeling cache (hits keyed by
+// graph structure, eviction, bypass), the pooled-engine allocation
+// guarantee, and bit-identity with the plain facade.
+package radiobcast_test
+
+import (
+	"context"
+	"testing"
+
+	"radiobcast"
+)
+
+// TestSessionCacheHitSkipsRelabeling pins the core serving property: the
+// first Run labels, every subsequent Run on the same topology serves the
+// cached labeling — the scheme's Label is never called again.
+func TestSessionCacheHitSkipsRelabeling(t *testing.T) {
+	hookB.reset()
+	defer hookB.reset()
+	sess := radiobcast.NewSession()
+	net := figNet(t)
+	for i := 0; i < 5; i++ {
+		out, err := sess.Run(context.Background(), net, "hook-b", radiobcast.WithMessage("m"))
+		if err != nil || !out.AllInformed {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if err := radiobcast.Verify(out); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if got := hookB.labels.Load(); got != 1 {
+		t.Fatalf("Label called %d times for 5 runs, want 1 (cache must serve the rest)", got)
+	}
+	st := sess.Stats()
+	if st.Misses != 1 || st.Hits != 4 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss / 4 hits / 1 entry", st)
+	}
+}
+
+// TestSessionCacheKeyedByStructure: a labeling computed for one *Graph
+// serves any structurally identical one (the key is the fingerprint, not
+// the pointer), while a different topology or source misses.
+func TestSessionCacheKeyedByStructure(t *testing.T) {
+	sess := radiobcast.NewSession()
+	ctx := context.Background()
+	a, _ := radiobcast.Family("grid", 16)
+	b, _ := radiobcast.Family("grid", 16) // same structure, different object
+	c, _ := radiobcast.Family("path", 16)
+	if _, err := sess.Run(ctx, a, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, b, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("structurally identical graph missed: %+v", st)
+	}
+	if _, err := sess.Run(ctx, c, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, a, "b", radiobcast.WithSource(3)); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.Stats(); st.Misses != 3 {
+		t.Fatalf("different topology/source should miss: %+v", st)
+	}
+}
+
+func TestSessionCacheEviction(t *testing.T) {
+	sess := radiobcast.NewSession(radiobcast.WithLabelingCache(2))
+	ctx := context.Background()
+	for _, fam := range []string{"path", "grid", "cycle"} {
+		net, err := radiobcast.Family(fam, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Run(ctx, net, "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sess.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction / 2 entries", st)
+	}
+	// The LRU victim is the oldest entry ("path"): rerunning it misses.
+	net, _ := radiobcast.Family("path", 16)
+	if _, err := sess.Run(ctx, net, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if st := sess.Stats(); st.Misses != 4 || st.Hits != 0 {
+		t.Fatalf("evicted entry should miss: %+v", st)
+	}
+}
+
+// TestSessionCacheBypass: label-affecting options (quick mode, custom
+// seeds, build ablations) must not poison the cache — they bypass it.
+func TestSessionCacheBypass(t *testing.T) {
+	sess := radiobcast.NewSession()
+	ctx := context.Background()
+	net := figNet(t)
+	if _, err := sess.Run(ctx, net, "b", radiobcast.WithQuick()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, net, "b", radiobcast.WithSeed(7)); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.Bypasses != 2 || st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want 2 bypasses and an untouched cache", st)
+	}
+}
+
+// TestSessionRunMatchesFacade: the served path (cache + pooled Sim) is
+// bit-identical to the plain facade.
+func TestSessionRunMatchesFacade(t *testing.T) {
+	sess := radiobcast.NewSession()
+	for _, scheme := range []string{"b", "back", "barb", "roundrobin", "centralized"} {
+		net, err := radiobcast.Family("grid", 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := radiobcast.Run(net, scheme, radiobcast.WithMessage("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ { // miss path, then hit path
+			got, err := sess.Run(context.Background(), net, scheme, radiobcast.WithMessage("m"))
+			if err != nil {
+				t.Fatalf("%s run %d: %v", scheme, i, err)
+			}
+			if !sameResults(want.Result, got.Result) {
+				t.Fatalf("%s run %d: session diverged from facade", scheme, i)
+			}
+		}
+	}
+}
+
+// TestSessionSteadyStateAllocs pins the acceptance criterion: the cache-
+// hit + pooled-Sim serving path stays within the facade's existing alloc
+// budget (≤ 40 allocs/run, independent of n and traffic).
+func TestSessionSteadyStateAllocs(t *testing.T) {
+	net, err := radiobcast.Family("grid", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := radiobcast.NewSession()
+	ctx := context.Background()
+	run := func() {
+		out, err := sess.Run(ctx, net, "b", radiobcast.WithMessage("m"))
+		if err != nil || !out.AllInformed {
+			t.Fatalf("run failed: %v", err)
+		}
+	}
+	run() // warm-up: labels the topology and sizes the pooled Sim
+	allocs := testing.AllocsPerRun(10, run)
+	const budget = 40
+	if allocs > budget {
+		t.Fatalf("steady-state Session.Run does %.0f allocs/run, want ≤ %d", allocs, budget)
+	}
+}
+
+// TestSessionSweepReusesCache: a second sweep over the same grid serves
+// every labeling from the session cache.
+func TestSessionSweepReusesCache(t *testing.T) {
+	sess := radiobcast.NewSession()
+	spec := radiobcast.SweepSpec{
+		Families: []string{"path", "grid"},
+		Sizes:    []int{16, 25},
+		Schemes:  []string{"b", "back"},
+		Workers:  2,
+	}
+	runSweepOnce := func() {
+		t.Helper()
+		for res, err := range sess.Sweep(context.Background(), spec) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Err != nil {
+				t.Fatalf("%s: %v", res.Cell, res.Err)
+			}
+		}
+	}
+	runSweepOnce()
+	missesAfterFirst := sess.Stats().Misses
+	if missesAfterFirst == 0 {
+		t.Fatal("first sweep computed no labelings through the cache")
+	}
+	runSweepOnce()
+	st := sess.Stats()
+	if st.Misses != missesAfterFirst {
+		t.Fatalf("second sweep relabeled: misses %d → %d", missesAfterFirst, st.Misses)
+	}
+	if st.Hits < missesAfterFirst {
+		t.Fatalf("second sweep did not hit the cache: %+v", st)
+	}
+}
+
+// BenchmarkSessionCacheHit measures the steady-state serving path: every
+// iteration is a cache hit on a pooled engine. Compare with
+// BenchmarkSessionRelabelEveryRun to see what the cache buys.
+func BenchmarkSessionCacheHit(b *testing.B) {
+	net, err := radiobcast.Family("grid", 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := radiobcast.NewSession()
+	ctx := context.Background()
+	if _, err := sess.Run(ctx, net, "b", radiobcast.WithMessage("m")); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Run(ctx, net, "b", radiobcast.WithMessage("m")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionRelabelEveryRun is the counterfactual: the same run
+// with the labeling recomputed every time (cache disabled).
+func BenchmarkSessionRelabelEveryRun(b *testing.B) {
+	net, err := radiobcast.Family("grid", 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := radiobcast.NewSession(radiobcast.WithLabelingCache(0))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Run(ctx, net, "b", radiobcast.WithMessage("m")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package radiobcast
 
 import (
+	"context"
 	"fmt"
-	"sync"
+	"iter"
+	"sort"
 
 	"radiobcast/internal/sweep"
 )
@@ -51,8 +53,9 @@ type SweepSpec struct {
 	DenseEngine bool
 	// OnCell, when non-nil, streams every finished cell as it completes
 	// (in completion order, which under a concurrent pool is not grid
-	// order; the slice returned by RunSweep is always in grid order).
-	// It is called from worker goroutines but never concurrently.
+	// order; the slice returned by RunSweep is always in grid order). It
+	// is honoured by RunSweep/RunSweepCtx and never called concurrently.
+	// Session.Sweep ignores it: there the iterator IS the stream.
 	OnCell func(CellResult)
 }
 
@@ -70,6 +73,11 @@ type SweepCell struct {
 type CellResult struct {
 	// Cell is the grid point this result belongs to.
 	Cell SweepCell
+	// Index is the cell's position in grid order (families, then sizes,
+	// schemes, sources, fault rates, repeats — the nesting order of the
+	// spec fields). Streaming consumers receive cells in completion
+	// order; Index lets them re-establish grid order, as RunSweep does.
+	Index int
 	// N is the actual node count of the generated graph.
 	N int
 	// Outcome is the unified run outcome (nil when Err is a setup error).
@@ -78,9 +86,10 @@ type CellResult struct {
 	// guarantees held. Faulty cells are never verified: broken broadcasts
 	// are their data, reported through Outcome.AllInformed.
 	Verified bool
-	// Err is a setup error (labeling failed) or, on a fault-free cell, a
-	// Verify failure. It is nil for a faulty cell that merely failed to
-	// inform everyone.
+	// Err is a setup error (labeling failed), a Verify failure on a
+	// fault-free cell, or the context's error when the run was cancelled
+	// mid-cell (then Outcome holds the partial prefix). It is nil for a
+	// faulty cell that merely failed to inform everyone.
 	Err error
 }
 
@@ -113,13 +122,8 @@ type labEntry struct {
 	err error
 }
 
-// RunSweep executes the sweep and returns one CellResult per grid point,
-// in grid order (families, then sizes, schemes, sources, fault rates,
-// repeats — the nesting order of the spec fields). It returns a non-nil
-// error only for an unusable spec: an empty grid, an unknown family or
-// scheme. Per-cell failures are reported in the cells, so one impossible
-// labeling does not abort a large batch.
-func RunSweep(spec SweepSpec) ([]CellResult, error) {
+// normalize applies the spec defaults in place and validates the grid.
+func (spec *SweepSpec) normalize() error {
 	if spec.Repeats <= 0 {
 		spec.Repeats = 1
 	}
@@ -136,79 +140,159 @@ func RunSweep(spec SweepSpec) ([]CellResult, error) {
 		spec.Seed = 1
 	}
 	if len(spec.Families) == 0 || len(spec.Sizes) == 0 || len(spec.Schemes) == 0 {
-		return nil, fmt.Errorf("radiobcast: sweep needs at least one family, size and scheme")
+		return fmt.Errorf("radiobcast: sweep needs at least one family, size and scheme")
 	}
 	for _, s := range spec.Schemes {
 		if _, ok := Lookup(s); !ok {
-			return nil, fmt.Errorf("radiobcast: sweep names unknown scheme %q (registered: %v)", s, SchemeNames())
+			return fmt.Errorf("radiobcast: sweep: %w", unknownScheme(s))
 		}
 	}
+	return nil
+}
 
-	// Phase 1: build and freeze one graph per (family, size). Freezing
-	// here makes the shared graphs read-only for the concurrent phases.
-	nets := make(map[netKey]*Network)
-	for _, fam := range spec.Families {
-		for _, size := range spec.Sizes {
-			k := netKey{fam, size}
-			if _, ok := nets[k]; ok {
-				continue
-			}
-			net, err := Family(fam, size)
-			if err != nil {
-				return nil, err
-			}
-			net.Graph.Freeze()
-			nets[k] = net
+// Sweep executes the spec's grid on a worker pool and streams the results
+// as a range-over-func iterator, in completion order:
+//
+//	for cell, err := range sess.Sweep(ctx, spec) {
+//		if err != nil { ... }          // bad spec, or ctx cancelled
+//		serve(cell)
+//	}
+//
+// Consumers see each finished cell the moment it completes — no
+// end-of-grid barrier — and may break out early, which stops the pool
+// without leaking goroutines. Cancelling ctx stops the grid within one
+// cell per worker (and each in-flight run within one engine round); every
+// result finished before the cut-off is still yielded, and the iterator
+// then yields ctx.Err() last. Per-cell failures travel inside CellResult
+// (one impossible labeling must not abort a million-cell job); the error
+// half of the pair is reserved for whole-sweep failures.
+//
+// Labelings are served through the session cache, so repeated sweeps over
+// the same topologies skip straight to the runs; each cell runs on a
+// session-pooled engine.
+func (s *Session) Sweep(ctx context.Context, spec SweepSpec) iter.Seq2[CellResult, error] {
+	return func(yield func(CellResult, error) bool) {
+		if ctx == nil {
+			ctx = context.Background()
 		}
-	}
+		if err := spec.normalize(); err != nil {
+			yield(CellResult{}, err)
+			return
+		}
 
-	// Phase 2: compute each distinct labeling once, in parallel across
-	// keys. Cells differing only in fault rate or repeat share the entry.
-	var labKeys []labKey
-	seen := make(map[labKey]bool)
-	for _, fam := range spec.Families {
-		for _, size := range spec.Sizes {
-			for _, scheme := range spec.Schemes {
-				for _, src := range spec.Sources {
-					k := labKey{netKey{fam, size}, scheme, resolveSource(src, nets[netKey{fam, size}].Graph.N())}
-					if !seen[k] {
-						seen[k] = true
-						labKeys = append(labKeys, k)
-					}
+		// Phase 1: build and freeze one graph per (family, size). Freezing
+		// (and fingerprinting) here makes the shared graphs read-only for
+		// the concurrent phases.
+		nets := make(map[netKey]*Network)
+		for _, fam := range spec.Families {
+			for _, size := range spec.Sizes {
+				k := netKey{fam, size}
+				if _, ok := nets[k]; ok {
+					continue
 				}
+				net, err := Family(fam, size)
+				if err != nil {
+					yield(CellResult{}, err)
+					return
+				}
+				net.Graph.Freeze()
+				net.Graph.Fingerprint()
+				nets[k] = net
 			}
 		}
-	}
-	entries := sweep.Map(labKeys, spec.Workers, func(k labKey) labEntry {
-		net := nets[k.netKey]
-		l, err := LabelNetwork(net, k.scheme, WithSource(k.source), WithMessage(spec.Mu))
-		if err != nil {
-			err = fmt.Errorf("label %s/n=%d/%s/src=%d: %w", k.family, k.size, k.scheme, k.source, err)
+		if err := ctx.Err(); err != nil {
+			yield(CellResult{}, err)
+			return
 		}
-		return labEntry{l, err}
-	})
-	labelings := make(map[labKey]labEntry, len(labKeys))
-	for i, k := range labKeys {
-		labelings[k] = entries[i]
-	}
 
-	// Phase 3: run every cell on the pool; worker w reuses sims[w].
-	cells := enumerateCells(spec, nets)
-	sims := make([]*Sim, sweep.Workers(len(cells), spec.Workers))
-	for i := range sims {
-		sims[i] = NewSim()
-	}
-	var streamMu sync.Mutex
-	results := sweep.MapIdx(cells, spec.Workers, func(w int, c SweepCell) CellResult {
-		res := runCell(spec, c, nets, labelings, sims[w])
-		if spec.OnCell != nil {
-			streamMu.Lock()
-			spec.OnCell(res)
-			streamMu.Unlock()
+		// Phase 2: compute each distinct labeling once, in parallel across
+		// keys, through the session cache. Cells differing only in fault
+		// rate or repeat share the entry. The keys are derived from the
+		// cell enumeration itself, so the grid order and source
+		// resolution have exactly one source of truth.
+		cells := enumerateCells(spec, nets)
+		var labKeys []labKey
+		seen := make(map[labKey]bool)
+		for _, c := range cells {
+			k := labKey{netKey{c.Family, c.Size}, c.Scheme, c.Source}
+			if !seen[k] {
+				seen[k] = true
+				labKeys = append(labKeys, k)
+			}
 		}
-		return res
-	})
-	return results, nil
+		entries, err := sweep.MapIdxCtx(ctx, labKeys, spec.Workers, func(_ int, k labKey) labEntry {
+			net := nets[k.netKey]
+			l, err := s.Label(ctx, net, k.scheme, WithSource(k.source), WithMessage(spec.Mu))
+			if err != nil {
+				err = fmt.Errorf("label %s/n=%d/%s/src=%d: %w", k.family, k.size, k.scheme, k.source, err)
+			}
+			return labEntry{l, err}
+		})
+		if err != nil {
+			yield(CellResult{}, err)
+			return
+		}
+		labelings := make(map[labKey]labEntry, len(labKeys))
+		for i, k := range labKeys {
+			labelings[k] = entries[i]
+		}
+
+		// Phase 3: run every cell on the pool, streaming results in
+		// completion order. An early break abandons the stream (workers
+		// drop undeliverable results and exit — no leak), while plain
+		// cancellation keeps draining, so every cell finished before the
+		// cut-off is still yielded.
+		inner, cancel := context.WithCancel(ctx)
+		defer cancel()
+		results, abandon := sweep.StreamIdx(inner, len(cells), spec.Workers, func(_, i int) CellResult {
+			sim := s.sims.Get().(*Sim)
+			defer s.sims.Put(sim)
+			return s.runCell(inner, spec, cells[i], i, nets, labelings, sim)
+		})
+		defer abandon()
+		for res := range results {
+			if !yield(res, nil) {
+				return
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			yield(CellResult{}, err)
+		}
+	}
+}
+
+// RunSweep executes the sweep and returns one CellResult per grid point,
+// in grid order. It returns a non-nil error only for an unusable spec: an
+// empty grid, an unknown family or scheme. Per-cell failures are reported
+// in the cells, so one impossible labeling does not abort a large batch.
+func RunSweep(spec SweepSpec) ([]CellResult, error) {
+	return RunSweepCtx(context.Background(), spec)
+}
+
+// RunSweepCtx is RunSweep with cancellation: it collects the stream of a
+// one-off Session's Sweep and, when ctx is cancelled mid-grid, returns
+// every cell finished before the cut-off (in grid order) together with
+// ctx.Err(). spec.OnCell, when set, observes cells in completion order as
+// they finish, exactly as before.
+func RunSweepCtx(ctx context.Context, spec SweepSpec) ([]CellResult, error) {
+	var results []CellResult
+	var sweepErr error
+	sess := NewSession()
+	for res, err := range sess.Sweep(ctx, spec) {
+		if err != nil {
+			sweepErr = err
+			break
+		}
+		if spec.OnCell != nil {
+			spec.OnCell(res)
+		}
+		results = append(results, res)
+	}
+	if sweepErr != nil && len(results) == 0 {
+		return nil, sweepErr
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
+	return results, sweepErr
 }
 
 // enumerateCells lists the grid in spec nesting order with resolved
@@ -250,9 +334,9 @@ func resolveSource(src, n int) int {
 	return src
 }
 
-func runCell(spec SweepSpec, c SweepCell, nets map[netKey]*Network, labelings map[labKey]labEntry, sim *Sim) CellResult {
+func (s *Session) runCell(ctx context.Context, spec SweepSpec, c SweepCell, idx int, nets map[netKey]*Network, labelings map[labKey]labEntry, sim *Sim) CellResult {
 	net := nets[netKey{c.Family, c.Size}]
-	res := CellResult{Cell: c, N: net.Graph.N()}
+	res := CellResult{Cell: c, Index: idx, N: net.Graph.N()}
 	entry := labelings[labKey{netKey{c.Family, c.Size}, c.Scheme, c.Source}]
 	if entry.err != nil {
 		res.Err = entry.err
@@ -272,8 +356,9 @@ func runCell(spec SweepSpec, c SweepCell, nets map[netKey]*Network, labelings ma
 	if c.FaultRate > 0 {
 		opts = append(opts, WithFaults(FaultRate(c.FaultRate, spec.Seed+int64(c.Repeat))))
 	}
-	out, err := RunLabeled(entry.l, opts...)
+	out, err := RunLabeledCtx(ctx, entry.l, opts...)
 	if err != nil {
+		res.Outcome = out // partial on cancellation, nil otherwise
 		res.Err = fmt.Errorf("run %s: %w", c, err)
 		return res
 	}

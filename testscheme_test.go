@@ -1,0 +1,60 @@
+// hookScheme instruments a real scheme with test-observable Label/Run
+// hooks. The facade registry is global and append-only, so each name is
+// registered once at package init and tests install the hooks they need;
+// tests in this package do not run in parallel.
+package radiobcast_test
+
+import (
+	"sync/atomic"
+
+	"radiobcast"
+)
+
+type hookScheme struct {
+	radiobcast.Scheme
+	name    string
+	labels  atomic.Int64 // Label invocations
+	runs    atomic.Int64 // Run invocations
+	onRun   atomic.Pointer[func()]
+	onLabel atomic.Pointer[func()]
+}
+
+func (h *hookScheme) Name() string { return h.name }
+
+func (h *hookScheme) Label(g *radiobcast.Graph, source int, cfg *radiobcast.Config) (*radiobcast.Labeling, error) {
+	h.labels.Add(1)
+	if f := h.onLabel.Load(); f != nil {
+		(*f)()
+	}
+	l, err := h.Scheme.Label(g, source, cfg)
+	if l != nil {
+		l.Scheme = h.name
+	}
+	return l, err
+}
+
+func (h *hookScheme) Run(l *radiobcast.Labeling, source int, cfg *radiobcast.Config) (*radiobcast.Outcome, error) {
+	h.runs.Add(1)
+	if f := h.onRun.Load(); f != nil {
+		(*f)()
+	}
+	return h.Scheme.Run(l, source, cfg)
+}
+
+// reset clears hooks and counters between tests.
+func (h *hookScheme) reset() {
+	h.onRun.Store(nil)
+	h.onLabel.Store(nil)
+	h.labels.Store(0)
+	h.runs.Store(0)
+}
+
+var hookB = func() *hookScheme {
+	inner, ok := radiobcast.Lookup("b")
+	if !ok {
+		panic("scheme b not registered")
+	}
+	h := &hookScheme{Scheme: inner, name: "hook-b"}
+	radiobcast.Register(h)
+	return h
+}()
