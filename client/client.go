@@ -1,0 +1,261 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"radiobcast"
+)
+
+// Client speaks the radiobcastd HTTP API. The zero value is not usable;
+// construct with New. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://localhost:8080"); a trailing slash is tolerated.
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Health checks GET /healthz: nil means the process is up.
+func (c *Client) Health(ctx context.Context) error {
+	return c.probe(ctx, "/healthz")
+}
+
+// Ready checks GET /readyz: nil means the daemon accepts work; a draining
+// daemon answers 503 (an *APIError with code "draining").
+func (c *Client) Ready(ctx context.Context) error {
+	return c.probe(ctx, "/readyz")
+}
+
+func (c *Client) probe(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Label asks the daemon for a labeling of the request's graph and returns
+// it decoded from the binary wire format, together with the metadata
+// envelope. The labeling is ready for local RunLabeled — or for shipping
+// onwards, since it round-trips through radiobcast.WriteLabeling.
+func (c *Client) Label(ctx context.Context, lr LabelRequest) (*radiobcast.Labeling, *LabelMeta, error) {
+	resp, err := c.postJSON(ctx, "/v1/label", lr, radiobcast.LabelingContentType)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, apiError(resp)
+	}
+	var meta LabelMeta
+	if h := resp.Header.Get(MetaHeader); h != "" {
+		if err := json.Unmarshal([]byte(h), &meta); err != nil {
+			return nil, nil, fmt.Errorf("client: bad %s header: %w", MetaHeader, err)
+		}
+	}
+	l, err := radiobcast.ReadLabeling(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: decoding labeling: %w", err)
+	}
+	return l, &meta, nil
+}
+
+// Run executes one broadcast on the daemon and returns its outcome.
+func (c *Client) Run(ctx context.Context, rr RunRequest) (*RunResponse, error) {
+	resp, err := c.postJSON(ctx, "/v1/run", rr, "application/json")
+	if err != nil {
+		return nil, err
+	}
+	return decodeRun(resp)
+}
+
+// RunLabeled uploads a labeling in the wire format and executes one
+// broadcast over it — the "run anywhere" half of label-once/run-many,
+// with the daemon as the runner.
+func (c *Client) RunLabeled(ctx context.Context, l *radiobcast.Labeling, p RunLabeledParams) (*RunResponse, error) {
+	var body bytes.Buffer
+	if err := radiobcast.WriteLabeling(&body, l); err != nil {
+		return nil, err
+	}
+	q := url.Values{}
+	if p.Source != nil {
+		q.Set("source", strconv.Itoa(*p.Source))
+	}
+	if p.Mu != "" {
+		q.Set("mu", p.Mu)
+	}
+	if p.MaxRounds > 0 {
+		q.Set("max_rounds", strconv.Itoa(p.MaxRounds))
+	}
+	u := c.base + "/v1/run-labeled"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", radiobcast.LabelingContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeRun(resp)
+}
+
+// Sweep streams the grid's cells in completion order, calling onCell for
+// each as it arrives; a non-nil return from onCell abandons the stream
+// and is returned. Sweep returns the number of cells received and, for a
+// whole-sweep failure or a truncated stream, an error (per-cell failures
+// travel inside the cells' Error fields, exactly like
+// radiobcast.CellResult.Err).
+func (c *Client) Sweep(ctx context.Context, sr SweepRequest, onCell func(SweepCellResult) error) (int, error) {
+	resp, err := c.postJSON(ctx, "/v1/sweep", sr, "application/x-ndjson")
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, apiError(resp)
+	}
+	cells := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sl SweepLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			return cells, fmt.Errorf("client: bad sweep line: %w", err)
+		}
+		switch {
+		case sl.Cell != nil:
+			cells++
+			if onCell != nil {
+				if err := onCell(*sl.Cell); err != nil {
+					return cells, err
+				}
+			}
+		case sl.Error != nil:
+			return cells, &APIError{Status: http.StatusOK, Code: sl.Error.Code, Message: sl.Error.Message}
+		case sl.Done != nil:
+			return cells, sc.Err()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return cells, err
+	}
+	return cells, fmt.Errorf("client: sweep stream truncated after %d cells", cells)
+}
+
+// Metrics fetches GET /metrics (Prometheus text format), for scrapers and
+// debugging.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, v any, accept string) (*http.Response, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", accept)
+	return c.hc.Do(req)
+}
+
+func decodeRun(resp *http.Response) (*RunResponse, error) {
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("client: decoding run response: %w", err)
+	}
+	return &rr, nil
+}
+
+// apiError turns a non-2xx response into an *APIError, tolerating bodies
+// that are not the canonical JSON error shape (proxies, panics).
+func apiError(resp *http.Response) error {
+	e := &APIError{Status: resp.StatusCode, Code: "internal"}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error.Code != "" {
+		e.Code = eb.Error.Code
+		e.Message = eb.Error.Message
+	} else {
+		e.Message = strings.TrimSpace(string(body))
+		if e.Message == "" {
+			e.Message = resp.Status
+		}
+	}
+	return e
+}
+
+// drainClose consumes the rest of the body before closing so the HTTP
+// connection is reusable.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	_ = body.Close()
+}

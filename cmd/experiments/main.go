@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"radiobcast/internal/cliutil"
 	"radiobcast/internal/experiments"
 )
 
@@ -25,8 +26,11 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		outFile = flag.String("o", "", "write output to file instead of stdout")
 		list    = flag.Bool("list", false, "list registered experiments and exit")
+
+		showVersion = cliutil.VersionFlag("experiments")
 	)
 	flag.Parse()
+	showVersion()
 
 	if *list {
 		for _, e := range experiments.Registry {

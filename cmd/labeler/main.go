@@ -21,11 +21,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"radiobcast"
+	"radiobcast/internal/cliutil"
 	"radiobcast/internal/graph"
 )
 
@@ -41,10 +43,14 @@ func main() {
 		dot      = flag.String("dot", "", "write Graphviz DOT to file")
 		save     = flag.String("save", "", "write the labeling in the portable wire format to this file")
 		load     = flag.String("load", "", "read a labeling from this file instead of computing one")
+		timeout  = cliutil.TimeoutFlag(0, "the labeling computation")
 		listSchm = flag.Bool("schemes", false, "list registered schemes and exit")
 		listFam  = flag.Bool("families", false, "list graph families and exit")
+
+		showVersion = cliutil.VersionFlag("labeler")
 	)
 	flag.Parse()
+	showVersion()
 
 	if *listSchm {
 		fmt.Print(radiobcast.DescribeSchemes())
@@ -82,7 +88,13 @@ func main() {
 		if *source >= 0 {
 			net.At(*source)
 		}
-		l, err = radiobcast.LabelNetwork(net, *scheme)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		l, err = radiobcast.LabelNetworkCtx(ctx, net, *scheme)
 		if err != nil {
 			fail(err)
 		}

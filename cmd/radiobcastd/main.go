@@ -1,0 +1,83 @@
+// Command radiobcastd serves the radiobcast facade over HTTP — the
+// paper's central monitor as a daemon. One shared Session backs every
+// request, so recurring topologies are labeled once and served from the
+// cache thereafter.
+//
+// Endpoints:
+//
+//	POST /v1/label        graph spec in, labeling wire format out
+//	POST /v1/run          graph spec + scheme in, Outcome JSON out
+//	POST /v1/run-labeled  labeling wire format in, Outcome JSON out
+//	POST /v1/sweep        grid spec in, NDJSON cell stream out
+//	GET  /healthz         liveness (200 while the process is up)
+//	GET  /readyz          readiness (503 once draining)
+//	GET  /metrics         Prometheus text format
+//
+// The daemon sheds load instead of queueing it: per-client token-bucket
+// rate limiting and a bounded sweep pool both answer 429 with
+// Retry-After. SIGTERM/SIGINT starts a graceful drain: /readyz flips to
+// 503, in-flight requests finish under -drain, then the listener closes.
+//
+//	radiobcastd -addr :8080 -cache 256 -sweeps 2
+//	curl -s localhost:8080/v1/run -d '{"graph":{"family":"grid","n":64},"scheme":"b"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"radiobcast"
+	"radiobcast/internal/cliutil"
+	"radiobcast/internal/httpd"
+)
+
+func main() {
+	var (
+		addr        = cliutil.AddrFlag(":8080")
+		timeout     = cliutil.TimeoutFlag(60e9, "each label/run request")
+		cache       = flag.Int("cache", radiobcast.DefaultLabelingCacheSize, "labeling-cache capacity in entries (0 disables)")
+		sweeps      = flag.Int("sweeps", 2, "concurrent sweep slots; a saturated pool answers 429")
+		sweepWk     = flag.Int("sweep-workers", 0, "worker-pool size per sweep (0 = GOMAXPROCS)")
+		rate        = flag.Float64("rate", 50, "per-client requests per second (negative disables rate limiting)")
+		burst       = flag.Int("burst", 100, "per-client burst size")
+		drain       = flag.Duration("drain", 10e9, "graceful-drain deadline after SIGTERM")
+		maxBody     = flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+		maxN        = flag.Int("max-n", 1<<20, "graph size limit in nodes")
+		maxRounds   = flag.Int("max-rounds", 1<<20, "limit on a request's max_rounds override")
+		maxCells    = flag.Int("max-cells", 65536, "sweep grid size limit in cells")
+		showVersion = cliutil.VersionFlag("radiobcastd")
+	)
+	flag.Parse()
+	showVersion()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv := httpd.New(httpd.Config{
+		Addr:                *addr,
+		Session:             radiobcast.NewSession(radiobcast.WithLabelingCache(*cache)),
+		MaxBodyBytes:        *maxBody,
+		MaxGraphN:           *maxN,
+		MaxRounds:           *maxRounds,
+		MaxSweepCells:       *maxCells,
+		MaxConcurrentSweeps: *sweeps,
+		SweepWorkers:        *sweepWk,
+		RatePerSec:          *rate,
+		RateBurst:           *burst,
+		RequestTimeout:      *timeout,
+		DrainTimeout:        *drain,
+		Logf:                logger.Printf,
+	})
+
+	// SIGTERM/SIGINT cancels ctx, which Serve turns into the drain
+	// sequence; a second signal kills the process the old-fashioned way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "radiobcastd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"strings"
 
 	"radiobcast"
+	"radiobcast/internal/cliutil"
 )
 
 func main() {
@@ -63,13 +64,16 @@ func main() {
 		repeats  = flag.Int("repeats", 1, "runs per sweep cell (distinct fault seeds)")
 		seed     = flag.Int64("seed", 1, "base seed of the deterministic fault model")
 		dense    = flag.Bool("dense", false, "force the dense reference engine (no sparse wakeup)")
-		timeout  = flag.Duration("timeout", 0, "abort the job after this duration, printing partial results (0 = no limit)")
+		timeout  = cliutil.TimeoutFlag(0, "the whole job, printing partial results")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		listFam  = flag.Bool("families", false, "list graph families and exit")
 		listSchm = flag.Bool("schemes", false, "list registered schemes and exit")
+
+		showVersion = cliutil.VersionFlag("radiosim")
 	)
 	flag.Parse()
+	showVersion()
 
 	if *listFam {
 		for _, name := range radiobcast.FamilyNames() {

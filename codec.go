@@ -40,6 +40,13 @@ const (
 	flagHasStages   = 1 << 2
 )
 
+// LabelingContentType is the MIME media type of the labeling wire format
+// — the Content-Type under which labelings travel over HTTP (the daemon's
+// /v1/label responses and /v1/run-labeled request bodies). The ".v1"
+// suffix tracks the format's magic: a future "RBL2" format gets a new
+// media type, so proxies and clients can route on the header alone.
+const LabelingContentType = "application/vnd.radiobcast.labeling.v1"
+
 // MarshalBinary encodes the labeling in the versioned wire format. It
 // implements encoding.BinaryMarshaler. The encoding is canonical: equal
 // labelings marshal to identical bytes, so blobs can be content-addressed.

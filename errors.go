@@ -27,7 +27,41 @@ var (
 	// run: nil, missing its graph, or a decoded wire format whose contents
 	// contradict themselves.
 	ErrLabelingMismatch = errors.New("labeling mismatch")
+	// ErrSessionClosed reports an operation on a Session after Close: the
+	// session is draining (or drained) and accepts no new work.
+	ErrSessionClosed = errors.New("session closed")
 )
+
+// errorCodes maps every sentinel above to its stable machine-readable
+// code. The codes are API: they travel in the daemon's JSON error bodies
+// and must never change meaning once published, so new sentinels get new
+// codes and TestErrorCodeExhaustive pins that this table covers every
+// Err* variable in this file.
+var errorCodes = []struct {
+	err  error
+	code string
+}{
+	{ErrUnknownScheme, "unknown_scheme"},
+	{ErrNodeOutOfRange, "node_out_of_range"},
+	{ErrNilNetwork, "nil_network"},
+	{ErrLabelingMismatch, "labeling_mismatch"},
+	{ErrSessionClosed, "session_closed"},
+}
+
+// ErrorCode maps err to the stable machine-readable code of the facade
+// sentinel it wraps ("unknown_scheme", "node_out_of_range", "nil_network",
+// "labeling_mismatch", "session_closed"). The second result is false when
+// err wraps none of the sentinels — cancellation, I/O and other
+// non-facade errors have no code here; network-facing callers translate
+// those themselves (the daemon uses "canceled" and "internal").
+func ErrorCode(err error) (string, bool) {
+	for _, sc := range errorCodes {
+		if errors.Is(err, sc.err) {
+			return sc.code, true
+		}
+	}
+	return "", false
+}
 
 // UnknownSchemeError is the errors.As carrier for ErrUnknownScheme.
 type UnknownSchemeError struct {

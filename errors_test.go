@@ -4,7 +4,13 @@
 package radiobcast_test
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
 	"testing"
 
 	"radiobcast"
@@ -111,4 +117,130 @@ func TestErrLabelingMismatch(t *testing.T) {
 	if _, err := radiobcast.RunLabeled(l, radiobcast.WithMessage("m")); err != nil {
 		t.Fatalf("valid labeling rejected: %v", err)
 	}
+}
+
+// sentinelCodes is the expected sentinel → code table, maintained by hand
+// and checked for completeness against errors.go itself below. The code
+// strings are wire API (the daemon's JSON error bodies); changing one
+// breaks deployed clients, so these literals are deliberately duplicated
+// from errors.go rather than referenced.
+var sentinelCodes = map[string]struct {
+	err  error
+	code string
+}{
+	"ErrUnknownScheme":    {radiobcast.ErrUnknownScheme, "unknown_scheme"},
+	"ErrNodeOutOfRange":   {radiobcast.ErrNodeOutOfRange, "node_out_of_range"},
+	"ErrNilNetwork":       {radiobcast.ErrNilNetwork, "nil_network"},
+	"ErrLabelingMismatch": {radiobcast.ErrLabelingMismatch, "labeling_mismatch"},
+	"ErrSessionClosed":    {radiobcast.ErrSessionClosed, "session_closed"},
+}
+
+// TestErrorCode checks the mapping itself: every sentinel (and anything
+// wrapping it) resolves to its code, the codes are pairwise distinct, and
+// non-facade errors resolve to nothing.
+func TestErrorCode(t *testing.T) {
+	seen := map[string]string{}
+	for name, sc := range sentinelCodes {
+		code, ok := radiobcast.ErrorCode(sc.err)
+		if !ok || code != sc.code {
+			t.Errorf("ErrorCode(%s) = %q, %v; want %q, true", name, code, ok, sc.code)
+		}
+		// Wrapped sentinels (how they actually escape the facade) map too.
+		code, ok = radiobcast.ErrorCode(fmt.Errorf("context: %w", sc.err))
+		if !ok || code != sc.code {
+			t.Errorf("ErrorCode(wrapped %s) = %q, %v; want %q, true", name, code, ok, sc.code)
+		}
+		if prev, dup := seen[sc.code]; dup {
+			t.Errorf("code %q assigned to both %s and %s", sc.code, prev, name)
+		}
+		seen[sc.code] = name
+	}
+	for _, bad := range []error{nil, errors.New("unrelated"), context.Canceled} {
+		if code, ok := radiobcast.ErrorCode(bad); ok {
+			t.Errorf("ErrorCode(%v) = %q, true; want no code", bad, code)
+		}
+	}
+}
+
+// TestErrorCodeExhaustive parses errors.go and asserts that every
+// exported Err* sentinel declared there appears in sentinelCodes — so a
+// future sentinel added without a stable code (or without extending this
+// test) fails here instead of making the daemon invent an ad-hoc code at
+// serving time.
+func TestErrorCodeExhaustive(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "errors.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse errors.go: %v", err)
+	}
+	var declared []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if strings.HasPrefix(name.Name, "Err") && ast.IsExported(name.Name) {
+					declared = append(declared, name.Name)
+				}
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("found no Err* sentinels in errors.go — did the file move?")
+	}
+	for _, name := range declared {
+		if _, ok := sentinelCodes[name]; !ok {
+			t.Errorf("sentinel %s declared in errors.go has no entry in sentinelCodes (add a stable code and test it)", name)
+		}
+	}
+	if len(declared) != len(sentinelCodes) {
+		t.Errorf("errors.go declares %d sentinels %v, test table has %d — keep them in sync", len(declared), declared, len(sentinelCodes))
+	}
+}
+
+// TestErrSessionClosed pins the drain contract: a closed session rejects
+// every entry point with the sentinel, and Close waits for in-flight work.
+func TestErrSessionClosed(t *testing.T) {
+	net := figNet(t)
+	sess := radiobcast.NewSession()
+	l, err := sess.Label(context.Background(), net, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := sess.Run(context.Background(), net, "b"); !errors.Is(err, radiobcast.ErrSessionClosed) {
+		t.Fatalf("Run after Close: err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := sess.Label(context.Background(), net, "b"); !errors.Is(err, radiobcast.ErrSessionClosed) {
+		t.Fatalf("Label after Close: err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := sess.RunLabeled(context.Background(), l); !errors.Is(err, radiobcast.ErrSessionClosed) {
+		t.Fatalf("RunLabeled after Close: err = %v, want ErrSessionClosed", err)
+	}
+	for _, sweepErr := range collectSweepErrs(sess) {
+		if !errors.Is(sweepErr, radiobcast.ErrSessionClosed) {
+			t.Fatalf("Sweep after Close: err = %v, want ErrSessionClosed", sweepErr)
+		}
+	}
+	// Closing again is safe.
+	if err := sess.Close(context.Background()); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func collectSweepErrs(sess *radiobcast.Session) []error {
+	var errs []error
+	spec := radiobcast.SweepSpec{Families: []string{"path"}, Sizes: []int{8}, Schemes: []string{"b"}}
+	for _, err := range sess.Sweep(context.Background(), spec) {
+		errs = append(errs, err)
+	}
+	return errs
 }

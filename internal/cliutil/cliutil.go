@@ -1,0 +1,73 @@
+// Package cliutil holds the flag conventions shared by the four binaries
+// (radiosim, labeler, experiments, radiobcastd): a uniform -version flag
+// backed by module build info, and common -addr/-timeout flag
+// registrations so the flags read identically across tools.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Version renders the binary's build identity from the module build info:
+// module version (or "devel"), VCS revision and dirty marker when stamped,
+// and the Go toolchain. It never fails — binaries built without build
+// info (go test binaries, exotic builds) report "unknown".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return fmt.Sprintf("unknown (%s)", runtime.Version())
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	out := ver
+	if rev != "" {
+		out += " " + rev + dirty
+	}
+	return fmt.Sprintf("%s (%s)", out, runtime.Version())
+}
+
+// VersionFlag registers the conventional -version flag on the default
+// FlagSet. Call the returned function right after flag.Parse: it prints
+// "<name> <version>" and exits 0 when the flag was given.
+func VersionFlag(name string) func() {
+	v := flag.Bool("version", false, "print version (module build info) and exit")
+	return func() {
+		if *v {
+			fmt.Printf("%s %s\n", name, Version())
+			os.Exit(0)
+		}
+	}
+}
+
+// AddrFlag registers the conventional -addr flag (listen address).
+func AddrFlag(def string) *string {
+	return flag.String("addr", def, "listen address (host:port; empty host binds all interfaces)")
+}
+
+// TimeoutFlag registers the conventional -timeout flag. What the bound
+// covers is per-binary (whole job for radiosim/labeler, per request for
+// radiobcastd), so the caller supplies that half of the usage string.
+func TimeoutFlag(def time.Duration, covers string) *time.Duration {
+	return flag.Duration("timeout", def, fmt.Sprintf("abort %s after this duration (0 = no limit)", covers))
+}

@@ -1,0 +1,19 @@
+package cliutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestVersionNeverEmpty(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("Version() returned an empty string")
+	}
+	// Whatever build info is (or isn't) stamped, the toolchain is always
+	// reported.
+	if !strings.Contains(v, runtime.Version()) {
+		t.Fatalf("Version() = %q, missing toolchain %q", v, runtime.Version())
+	}
+}

@@ -1,0 +1,215 @@
+package httpd_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"radiobcast/client"
+	"radiobcast/internal/httpd"
+)
+
+// startLongSweep opens a sweep expected to stream many cells and blocks
+// until the first cell arrives, so the caller knows the sweep is truly in
+// flight. The returned reader continues the NDJSON stream.
+func startLongSweep(t *testing.T, base string) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	body := `{"families":["path"],"sizes":[32],"schemes":["b"],"fault_rates":[0.2],"repeats":200}`
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/sweep", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("long sweep: status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		resp.Body.Close()
+		t.Fatalf("reading first sweep cell: %v", err)
+	}
+	return resp, br
+}
+
+// drainStream reads the rest of an NDJSON sweep stream and reports whether
+// it ended with a clean done line and how many cells arrived in total
+// (including the one startLongSweep consumed).
+func drainStream(t *testing.T, br *bufio.Reader) (cells int, done bool) {
+	t.Helper()
+	cells = 1 // the cell startLongSweep already read
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return cells, done
+		}
+		var sl client.SweepLine
+		if err := json.Unmarshal([]byte(line), &sl); err != nil {
+			t.Fatalf("bad sweep line %q: %v", line, err)
+		}
+		switch {
+		case sl.Cell != nil:
+			cells++
+		case sl.Done != nil:
+			return cells, true
+		case sl.Error != nil:
+			t.Fatalf("sweep stream ended in error line: %+v", sl.Error)
+		}
+	}
+}
+
+// TestDrainInFlightCompletes pins the core drain contract at the handler
+// level: once StartDrain is called, new API requests are refused with 503
+// "draining" and readiness flips, while an in-flight sweep streams to its
+// clean end.
+func TestDrainInFlightCompletes(t *testing.T) {
+	srv, ts, c := newTestServer(t, httpd.Config{})
+	resp, br := startLongSweep(t, ts.URL)
+	defer resp.Body.Close()
+
+	srv.StartDrain()
+
+	err := c.Ready(context.Background())
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after StartDrain: %v, want 503", err)
+	}
+	_, err = c.Run(context.Background(), client.RunRequest{
+		Graph: client.GraphSpec{Family: "path", N: 8}, Scheme: "b",
+	})
+	if !errors.As(err, &ae) || ae.Code != "draining" || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("new run during drain: %v, want 503 draining", err)
+	}
+
+	cells, done := drainStream(t, br)
+	if !done {
+		t.Fatalf("in-flight sweep truncated during drain after %d cells", cells)
+	}
+	if want := 200; cells != want {
+		t.Fatalf("in-flight sweep streamed %d cells during drain, want %d", cells, want)
+	}
+}
+
+// TestServeGracefulDrain exercises the full Serve lifecycle on a real
+// listener: cancel the serve context mid-sweep and require that the
+// stream still completes, Serve returns nil, and the port then refuses
+// connections.
+func TestServeGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httpd.New(httpd.Config{RatePerSec: -1, DrainTimeout: 30 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	c := client.New(base)
+	if err := c.Ready(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, br := startLongSweep(t, base)
+	defer resp.Body.Close()
+
+	cancel() // SIGTERM equivalent
+
+	cells, done := drainStream(t, br)
+	if !done {
+		t.Fatalf("sweep truncated by graceful drain after %d cells", cells)
+	}
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve after drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("daemon still answering after Serve returned")
+	}
+	// The shared Session drained too: further use is refused.
+	if _, err := srv.Session().Label(context.Background(), nil, "b"); err == nil {
+		t.Fatal("session still open after drain")
+	}
+}
+
+// TestServeDrainDeadline proves the other half of the contract: when
+// in-flight work outlives DrainTimeout, its request context is cancelled
+// — the stream ends early but intact (an error line, not a hang) and
+// Serve still returns.
+func TestServeDrainDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httpd.New(httpd.Config{RatePerSec: -1, DrainTimeout: 50 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	c := client.New(base)
+	if err := c.Ready(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A sweep far too large to finish in 50ms.
+	body := `{"families":["path"],"sizes":[256],"schemes":["b"],"fault_rates":[0.2],"repeats":5000}`
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/sweep", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first sweep cell: %v", err)
+	}
+
+	cancel()
+
+	// The stream must terminate promptly; whether the tail is an error
+	// line (context cancelled) or a connection close is timing-dependent,
+	// but it must not deliver the full 5000-cell grid.
+	streamEnded := make(chan int, 1)
+	go func() {
+		cells := 1
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				streamEnded <- cells
+				return
+			}
+			var sl client.SweepLine
+			if json.Unmarshal([]byte(line), &sl) == nil && sl.Cell != nil {
+				cells++
+			}
+		}
+	}()
+	select {
+	case cells := <-streamEnded:
+		if cells >= 5000 {
+			t.Fatalf("deadline drain still delivered the whole %d-cell grid", cells)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep stream survived the drain deadline")
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve after deadline drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not return after deadline drain")
+	}
+}

@@ -1,0 +1,10 @@
+package httpd
+
+// AcquireSweepSlot takes one slot of the bounded sweep pool exactly as a
+// running sweep would, returning its release func. Test-only: it lets the
+// saturation path be exercised deterministically instead of racing a real
+// sweep's completion.
+func (s *Server) AcquireSweepSlot() func() {
+	s.sweepSem <- struct{}{}
+	return func() { <-s.sweepSem }
+}

@@ -1,0 +1,126 @@
+package httpd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the daemon's hand-rolled Prometheus registry: per-endpoint
+// request/latency/in-flight counters plus whatever gauges the render
+// callback adds (Session cache counters, drain state, sweep slots). No
+// client library — the text exposition format is a dozen lines of
+// fmt.Fprintf, and the daemon's dependency budget is zero.
+type metrics struct {
+	endpoints map[string]*endpointMetrics // fixed at construction; read-only after
+}
+
+// endpointMetrics counts one route. Requests are keyed by status code so
+// dashboards can separate 200s from 429s and 503s.
+type endpointMetrics struct {
+	inFlight atomic.Int64
+	seconds  atomicFloat // latency sum, seconds
+	count    atomic.Uint64
+
+	mu    sync.Mutex
+	codes map[int]*atomic.Uint64
+}
+
+// atomicFloat accumulates float64 seconds with a CAS loop — latency sums
+// need fractions, and the scrape path may race with request completions.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func newMetrics(endpoints []string) *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, ep := range endpoints {
+		m.endpoints[ep] = &endpointMetrics{codes: make(map[int]*atomic.Uint64)}
+	}
+	return m
+}
+
+func (m *metrics) endpoint(name string) *endpointMetrics { return m.endpoints[name] }
+
+// observe records one finished request.
+func (e *endpointMetrics) observe(code int, d time.Duration) {
+	e.seconds.add(d.Seconds())
+	e.count.Add(1)
+	e.mu.Lock()
+	c, ok := e.codes[code]
+	if !ok {
+		c = new(atomic.Uint64)
+		e.codes[code] = c
+	}
+	e.mu.Unlock()
+	c.Add(1)
+}
+
+// gauge is one extra metric the server contributes at scrape time.
+type gauge struct {
+	name  string
+	help  string
+	typ   string // "counter" or "gauge"
+	value float64
+}
+
+// render writes the Prometheus text exposition format: the per-endpoint
+// families first, then the extra gauges, everything sorted so scrapes are
+// diffable.
+func (m *metrics) render(w *strings.Builder, extra []gauge) {
+	names := make([]string, 0, len(m.endpoints))
+	for ep := range m.endpoints {
+		names = append(names, ep)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "# HELP radiobcastd_requests_total Requests served, by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE radiobcastd_requests_total counter\n")
+	for _, ep := range names {
+		e := m.endpoints[ep]
+		e.mu.Lock()
+		codes := make([]int, 0, len(e.codes))
+		for c := range e.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "radiobcastd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, e.codes[c].Load())
+		}
+		e.mu.Unlock()
+	}
+
+	fmt.Fprintf(w, "# HELP radiobcastd_in_flight Requests currently being served, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE radiobcastd_in_flight gauge\n")
+	for _, ep := range names {
+		fmt.Fprintf(w, "radiobcastd_in_flight{endpoint=%q} %d\n", ep, m.endpoints[ep].inFlight.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP radiobcastd_request_seconds Cumulative request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE radiobcastd_request_seconds summary\n")
+	for _, ep := range names {
+		e := m.endpoints[ep]
+		fmt.Fprintf(w, "radiobcastd_request_seconds_sum{endpoint=%q} %g\n", ep, e.seconds.load())
+		fmt.Fprintf(w, "radiobcastd_request_seconds_count{endpoint=%q} %d\n", ep, e.count.Load())
+	}
+
+	for _, g := range extra {
+		fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", g.name, g.typ)
+		fmt.Fprintf(w, "%s %g\n", g.name, g.value)
+	}
+}

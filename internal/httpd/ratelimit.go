@@ -1,0 +1,90 @@
+package httpd
+
+import (
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each key (remote host) earns
+// rate tokens per second up to burst, and every request spends one. It is
+// deliberately hand-rolled — the daemon takes no dependencies — and sized
+// for the daemon's threat model: keeping one hot client from starving the
+// Session, not withstanding a distributed flood (that is the load
+// balancer's job).
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injectable for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-client map: when an eviction sweep is due,
+// every bucket that has refilled to burst (an idle client) is dropped.
+// A client evicted this way re-enters with a full bucket, so eviction
+// never penalizes anyone.
+const maxBuckets = 4096
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token of key's bucket. When the bucket is empty it
+// reports false and how long until a token accrues — the Retry-After
+// value, rounded up to whole seconds by the caller.
+func (rl *rateLimiter) allow(key string) (bool, time.Duration) {
+	now := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.buckets[key]
+	if !ok {
+		if len(rl.buckets) >= maxBuckets {
+			rl.evictIdleLocked()
+		}
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	} else {
+		b.tokens = math.Min(rl.burst, b.tokens+rl.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	return false, wait
+}
+
+// evictIdleLocked drops every bucket that has refilled to burst. Called
+// with rl.mu held, only on the (rare) insert path past maxBuckets.
+func (rl *rateLimiter) evictIdleLocked() {
+	now := rl.now()
+	for k, b := range rl.buckets {
+		if math.Min(rl.burst, b.tokens+rl.rate*now.Sub(b.last).Seconds()) >= rl.burst {
+			delete(rl.buckets, k)
+		}
+	}
+}
+
+// clientKey extracts the rate-limit key from a RemoteAddr: the host
+// without the ephemeral port, so one client's connections share a bucket.
+func clientKey(remoteAddr string) string {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		return remoteAddr
+	}
+	return host
+}

@@ -1,0 +1,114 @@
+package httpd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a rateLimiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestLimiter(rate float64, burst int) (*rateLimiter, *fakeClock) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	rl := newRateLimiter(rate, burst)
+	rl.now = clock.now
+	return rl, clock
+}
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	rl, clock := newTestLimiter(2, 3) // 2 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := rl.allow("a"); !ok {
+			t.Fatalf("request %d within burst refused", i)
+		}
+	}
+	ok, wait := rl.allow("a")
+	if ok {
+		t.Fatal("4th instantaneous request allowed past burst 3")
+	}
+	if want := 500 * time.Millisecond; wait != want {
+		t.Fatalf("wait = %v, want %v (one token at 2/s)", wait, want)
+	}
+
+	// Half a second accrues exactly the one token owed.
+	clock.advance(500 * time.Millisecond)
+	if ok, _ := rl.allow("a"); !ok {
+		t.Fatal("request refused after refill interval")
+	}
+	if ok, _ := rl.allow("a"); ok {
+		t.Fatal("second request allowed off a single refilled token")
+	}
+
+	// A long idle stretch caps at burst, not unbounded credit.
+	clock.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := rl.allow("a"); !ok {
+			t.Fatalf("request %d refused after idle refill to burst", i)
+		}
+	}
+	if ok, _ := rl.allow("a"); ok {
+		t.Fatal("idle bucket accrued more than burst")
+	}
+}
+
+func TestRateLimiterKeysIndependent(t *testing.T) {
+	rl, _ := newTestLimiter(1, 1)
+	if ok, _ := rl.allow("a"); !ok {
+		t.Fatal("first a refused")
+	}
+	if ok, _ := rl.allow("a"); ok {
+		t.Fatal("second a allowed past burst 1")
+	}
+	if ok, _ := rl.allow("b"); !ok {
+		t.Fatal("b starved by a's bucket")
+	}
+}
+
+func TestRateLimiterEviction(t *testing.T) {
+	rl, clock := newTestLimiter(10, 2)
+	for i := 0; i < maxBuckets; i++ {
+		rl.allow(fmt.Sprintf("client-%d", i))
+	}
+	if got := len(rl.buckets); got != maxBuckets {
+		t.Fatalf("bucket count = %d, want %d", got, maxBuckets)
+	}
+
+	// Everyone has long since refilled to burst: the next new client's
+	// insert sweeps the idle buckets out.
+	clock.advance(time.Minute)
+	if ok, _ := rl.allow("newcomer"); !ok {
+		t.Fatal("newcomer refused")
+	}
+	if got := len(rl.buckets); got != 1 {
+		t.Fatalf("bucket count after idle eviction = %d, want 1", got)
+	}
+
+	// An active (non-full) bucket survives the sweep.
+	rl.allow("busy")
+	rl.allow("busy") // bucket now below burst
+	for i := 0; i < maxBuckets; i++ {
+		rl.allow(fmt.Sprintf("wave2-%d", i))
+	}
+	clock.advance(50 * time.Millisecond) // busy refills 0.5 of 2 — still below burst
+	rl.allow("trigger")
+	if _, ok := rl.buckets["busy"]; !ok {
+		t.Fatal("active bucket evicted by idle sweep")
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	for in, want := range map[string]string{
+		"10.0.0.7:51234":    "10.0.0.7",
+		"[::1]:8080":        "::1",
+		"no-port-proxy-key": "no-port-proxy-key",
+	} {
+		if got := clientKey(in); got != want {
+			t.Errorf("clientKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

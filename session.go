@@ -3,7 +3,9 @@ package radiobcast
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"radiobcast/internal/core"
 )
@@ -29,11 +31,24 @@ import (
 type Session struct {
 	sims sync.Pool
 
+	// Cache counters are plain atomics so Stats and the per-counter
+	// accessors never contend with (or block behind) the cache lock —
+	// the /metrics handler of a serving daemon reads them on every
+	// scrape while request goroutines are mid-labeling.
+	hits, misses, bypasses, evictions atomic.Uint64
+
+	// opMu guards closed against ops.Add: begin takes the read side, so
+	// any number of operations start concurrently; Close takes the write
+	// side exactly once to flip closed, after which no new operation can
+	// register and ops.Wait() observes a monotonically draining count.
+	opMu   sync.RWMutex
+	closed bool
+	ops    sync.WaitGroup
+
 	mu       sync.Mutex
 	capacity int
 	lru      list.List // of *cacheEntry, most recent first
 	index    map[labelingKey]*list.Element
-	stats    SessionStats
 }
 
 // labelingKey identifies a cached labeling. The fingerprint is a 64-bit
@@ -54,7 +69,9 @@ type cacheEntry struct {
 }
 
 // SessionStats counts the labeling cache's traffic. Entries is the
-// current cache size; the counters are cumulative.
+// current cache size; the counters are cumulative and monotonic (each is
+// maintained atomically, so concurrent Stats readers never observe a
+// counter going backwards).
 type SessionStats struct {
 	// Hits counts runs served from the cache (no labeling computed).
 	Hits uint64
@@ -98,18 +115,93 @@ func NewSession(opts ...SessionOption) *Session {
 	return s
 }
 
-// Stats returns a snapshot of the labeling cache's counters.
+// Stats returns a snapshot of the labeling cache's counters. It is safe
+// under any number of concurrent readers and writers, and each counter is
+// monotonic across snapshots: a later Stats never reports a smaller Hits
+// (Misses, …) than an earlier one. The counters are read individually, so
+// a snapshot taken mid-operation may be skewed by the operation in flight
+// — fine for metrics, which is what this is for.
 func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Bypasses:  s.bypasses.Load(),
+		Evictions: s.evictions.Load(),
+		Entries:   s.CacheEntries(),
+	}
+}
+
+// CacheHits returns the cumulative cache-hit count (see SessionStats.Hits).
+func (s *Session) CacheHits() uint64 { return s.hits.Load() }
+
+// CacheMisses returns the cumulative miss count (see SessionStats.Misses).
+func (s *Session) CacheMisses() uint64 { return s.misses.Load() }
+
+// CacheBypasses returns the cumulative bypass count (see
+// SessionStats.Bypasses).
+func (s *Session) CacheBypasses() uint64 { return s.bypasses.Load() }
+
+// CacheEvictions returns the cumulative eviction count (see
+// SessionStats.Evictions).
+func (s *Session) CacheEvictions() uint64 { return s.evictions.Load() }
+
+// CacheEntries returns the number of labelings currently cached.
+func (s *Session) CacheEntries() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := s.stats
-	st.Entries = s.lru.Len()
-	return st
+	return s.lru.Len()
+}
+
+// begin registers one in-flight operation, failing once the session is
+// closed. Every public entry point pairs it with end, so Close can wait
+// for the pooled Sims (and the cache) to quiesce.
+func (s *Session) begin() error {
+	s.opMu.RLock()
+	defer s.opMu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("radiobcast: %w", ErrSessionClosed)
+	}
+	s.ops.Add(1)
+	return nil
+}
+
+func (s *Session) end() { s.ops.Done() }
+
+// Close drains the session: new Run/Label/RunLabeled/Sweep calls fail
+// immediately with ErrSessionClosed, while operations already in flight
+// run to completion — Close blocks until the last one returns its pooled
+// Sim (or until ctx expires, returning ctx.Err() with the session still
+// draining). Closing an already-closed session waits again but is
+// otherwise a no-op. A nil ctx waits without a deadline.
+//
+// Close does not cancel in-flight work; callers wanting a bounded drain
+// pass the same deadline to the operations' contexts (the daemon does
+// exactly that) or to ctx here.
+func (s *Session) Close(ctx context.Context) error {
+	s.opMu.Lock()
+	s.closed = true
+	s.opMu.Unlock()
+	done := make(chan struct{})
+	go func() { s.ops.Wait(); close(done) }()
+	if ctx == nil {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Label resolves the network and returns the scheme's labeling, serving
 // it from the session cache when possible (see Run for the cache key).
 func (s *Session) Label(ctx context.Context, net *Network, scheme string, opts ...Option) (*Labeling, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	sch, cfg, source, err := prepare(ctx, net, scheme, opts)
 	if err != nil {
 		return nil, err
@@ -123,6 +215,10 @@ func (s *Session) Label(ctx context.Context, net *Network, scheme string, opts .
 // buffers. The cancellation contract is RunCtx's — partial Outcome plus
 // ctx.Err() on a cancelled run.
 func (s *Session) Run(ctx context.Context, net *Network, scheme string, opts ...Option) (*Outcome, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	sch, cfg, source, err := prepare(ctx, net, scheme, opts)
 	if err != nil {
 		return nil, err
@@ -141,6 +237,10 @@ func (s *Session) Run(ctx context.Context, net *Network, scheme string, opts ...
 // pooled engine (the labeling cache is not consulted — the caller already
 // has the artifact, e.g. from ReadLabeling).
 func (s *Session) RunLabeled(ctx context.Context, l *Labeling, opts ...Option) (*Outcome, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	sch, cfg, source, err := prepareLabeled(ctx, l, opts)
 	if err != nil {
 		return nil, err
@@ -174,9 +274,7 @@ func cacheable(cfg *Config) bool {
 // either serves).
 func (s *Session) labelCached(sch Scheme, g *Graph, source int, cfg *Config) (*Labeling, error) {
 	if s.capacity <= 0 || !cacheable(cfg) {
-		s.mu.Lock()
-		s.stats.Bypasses++
-		s.mu.Unlock()
+		s.bypasses.Add(1)
 		return sch.Label(g, source, cfg)
 	}
 	key := labelingKey{
@@ -186,13 +284,13 @@ func (s *Session) labelCached(sch Scheme, g *Graph, source int, cfg *Config) (*L
 	s.mu.Lock()
 	if el, ok := s.index[key]; ok {
 		s.lru.MoveToFront(el)
-		s.stats.Hits++
 		l := el.Value.(*cacheEntry).l
 		s.mu.Unlock()
+		s.hits.Add(1)
 		return l, nil
 	}
-	s.stats.Misses++
 	s.mu.Unlock()
+	s.misses.Add(1)
 
 	l, err := sch.Label(g, source, cfg)
 	if err != nil {
@@ -205,7 +303,7 @@ func (s *Session) labelCached(sch Scheme, g *Graph, source int, cfg *Config) (*L
 			oldest := s.lru.Back()
 			s.lru.Remove(oldest)
 			delete(s.index, oldest.Value.(*cacheEntry).key)
-			s.stats.Evictions++
+			s.evictions.Add(1)
 		}
 	}
 	s.mu.Unlock()

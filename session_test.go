@@ -5,6 +5,8 @@ package radiobcast_test
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"testing"
 
 	"radiobcast"
@@ -191,6 +193,112 @@ func TestSessionSweepReusesCache(t *testing.T) {
 	}
 	if st.Hits < missesAfterFirst {
 		t.Fatalf("second sweep did not hit the cache: %+v", st)
+	}
+}
+
+// TestSessionStatsConcurrent hammers the cache from writer goroutines
+// while readers snapshot Stats and the per-counter accessors, checking
+// (under -race) that snapshots are safe and each counter is monotonic
+// across successive reads.
+func TestSessionStatsConcurrent(t *testing.T) {
+	sess := radiobcast.NewSession()
+	nets := make([]*radiobcast.Network, 4)
+	for i := range nets {
+		net, err := radiobcast.Family("path", 8+4*i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Graph.Freeze()
+		net.Graph.Fingerprint()
+		nets[i] = net
+	}
+	ctx := context.Background()
+	done := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := sess.Run(ctx, nets[(w+i)%len(nets)], "b"); err != nil {
+					t.Errorf("run: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		var prev radiobcast.SessionStats
+		for {
+			st := sess.Stats()
+			if st.Hits < prev.Hits || st.Misses < prev.Misses ||
+				st.Bypasses < prev.Bypasses || st.Evictions < prev.Evictions {
+				t.Errorf("counter went backwards: %+v after %+v", st, prev)
+				return
+			}
+			if acc := sess.CacheHits(); acc < st.Hits {
+				t.Errorf("accessor behind an earlier snapshot: %d < %d", acc, st.Hits)
+				return
+			}
+			prev = st
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	writers.Wait()
+	close(done)
+	<-readerDone
+}
+
+// TestSessionCloseDrains pins the drain hook: Close blocks until in-flight
+// runs return their pooled Sims, and a deadline ctx bounds the wait.
+func TestSessionCloseDrains(t *testing.T) {
+	sess := radiobcast.NewSession()
+	net, err := radiobcast.Family("grid", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Graph.Freeze()
+	net.Graph.Fingerprint()
+	ctx := context.Background()
+	if _, err := sess.Run(ctx, net, "b"); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	finished := make(chan error, 8)
+	var inFlight sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		inFlight.Add(1)
+		go func() {
+			defer inFlight.Done()
+			started <- struct{}{}
+			_, err := sess.Run(ctx, net, "b")
+			finished <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-started
+	}
+	if err := sess.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	inFlight.Wait()
+	close(finished)
+	for err := range finished {
+		// Each racer either got in before Close (nil error) or was turned
+		// away with the sentinel — never anything else, never a torn state.
+		if err != nil && !errors.Is(err, radiobcast.ErrSessionClosed) {
+			t.Fatalf("in-flight run failed with %v", err)
+		}
+	}
+	// After Close returns, the session must reject new work immediately.
+	if _, err := sess.Run(ctx, net, "b"); !errors.Is(err, radiobcast.ErrSessionClosed) {
+		t.Fatalf("post-drain Run: err = %v, want ErrSessionClosed", err)
 	}
 }
 

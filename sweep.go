@@ -175,6 +175,14 @@ func (s *Session) Sweep(ctx context.Context, spec SweepSpec) iter.Seq2[CellResul
 		if ctx == nil {
 			ctx = context.Background()
 		}
+		// The whole grid is one session operation: Session.Close started
+		// mid-sweep lets the sweep drain, while a sweep started after
+		// Close fails up front.
+		if err := s.begin(); err != nil {
+			yield(CellResult{}, err)
+			return
+		}
+		defer s.end()
 		if err := spec.normalize(); err != nil {
 			yield(CellResult{}, err)
 			return
