@@ -22,6 +22,8 @@ package client
 import (
 	"fmt"
 	"time"
+
+	"radiobcast"
 )
 
 // GraphSpec names the topology of a request: either a generated family
@@ -91,6 +93,11 @@ type RunRequest struct {
 	// FaultRate jams each transmission independently with this
 	// probability, in [0, 1); fault-free runs are Verify-checked.
 	FaultRate float64 `json:"fault_rate,omitempty"`
+	// Fault selects a richer fault model (jamming, crash–recovery, churn,
+	// duty-cycling, or a composition; see radiobcast.FaultSpec). Mutually
+	// exclusive with FaultRate; invalid specs answer 400 with code
+	// "bad_fault_spec".
+	Fault *radiobcast.FaultSpec `json:"fault,omitempty"`
 	// Seed drives the deterministic fault model (server default 1).
 	Seed int64 `json:"seed,omitempty"`
 }
@@ -123,6 +130,11 @@ type RunResponse struct {
 	AckRound int `json:"ack_round,omitempty"`
 	// LabelBits is the labeling length the run executed under.
 	LabelBits int `json:"label_bits,omitempty"`
+	// Coverage is the informed fraction of the network; Degraded grades it
+	// ("none", "minor", "major", "severe", "total") — the graceful-
+	// degradation measure for runs under faults.
+	Coverage float64 `json:"coverage"`
+	Degraded string  `json:"degraded,omitempty"`
 	// Interrupted reports a run cut short by a deadline: the numbers
 	// above describe the executed prefix.
 	Interrupted bool `json:"interrupted,omitempty"`
@@ -142,10 +154,13 @@ type SweepRequest struct {
 	Schemes    []string  `json:"schemes"`
 	Sources    []int     `json:"sources,omitempty"`
 	FaultRates []float64 `json:"fault_rates,omitempty"`
-	Repeats    int       `json:"repeats,omitempty"`
-	Mu         string    `json:"mu,omitempty"`
-	MaxRounds  int       `json:"max_rounds,omitempty"`
-	Seed       int64     `json:"seed,omitempty"`
+	// Faults extends the fault axis with rich fault-model points (one
+	// sweep column per spec; see radiobcast.SweepSpec.Faults).
+	Faults    []radiobcast.FaultSpec `json:"faults,omitempty"`
+	Repeats   int                    `json:"repeats,omitempty"`
+	Mu        string                 `json:"mu,omitempty"`
+	MaxRounds int                    `json:"max_rounds,omitempty"`
+	Seed      int64                  `json:"seed,omitempty"`
 }
 
 // SweepLine is one NDJSON line of a /v1/sweep response — exactly one of
@@ -166,16 +181,21 @@ type SweepCellResult struct {
 	Scheme    string  `json:"scheme"`
 	Source    int     `json:"source"`
 	FaultRate float64 `json:"fault_rate,omitempty"`
-	Repeat    int     `json:"repeat,omitempty"`
+	// Fault labels the cell's fault-model point on the Faults axis
+	// (empty for the FaultRates axis).
+	Fault  string `json:"fault,omitempty"`
+	Repeat int    `json:"repeat,omitempty"`
 	// Index is the cell's position in grid order, so a consumer can
 	// re-establish it from the completion-order stream.
-	Index           int    `json:"index"`
-	N               int    `json:"n"`
-	AllInformed     bool   `json:"all_informed"`
-	CompletionRound int    `json:"completion_round"`
-	Rounds          int    `json:"rounds"`
-	Verified        bool   `json:"verified"`
-	Error           string `json:"error,omitempty"`
+	Index           int     `json:"index"`
+	N               int     `json:"n"`
+	AllInformed     bool    `json:"all_informed"`
+	CompletionRound int     `json:"completion_round"`
+	Rounds          int     `json:"rounds"`
+	Coverage        float64 `json:"coverage,omitempty"`
+	Degraded        string  `json:"degraded,omitempty"`
+	Verified        bool    `json:"verified"`
+	Error           string  `json:"error,omitempty"`
 }
 
 // SweepSummary is the final line of a completed sweep stream.
@@ -191,7 +211,8 @@ type ErrorBody struct {
 // ErrorDetail carries the stable machine-readable code and a human
 // message. Codes for facade failures come from radiobcast.ErrorCode
 // ("unknown_scheme", "node_out_of_range", "nil_network",
-// "labeling_mismatch", "session_closed"); the daemon adds transport-level
+// "labeling_mismatch", "session_closed", "bad_fault_spec"); the daemon
+// adds transport-level
 // codes ("bad_request", "limit_exceeded", "rate_limited", "saturated",
 // "draining", "canceled", "unsupported_media_type", "internal").
 type ErrorDetail struct {

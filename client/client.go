@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -19,8 +20,10 @@ import (
 // Client speaks the radiobcastd HTTP API. The zero value is not usable;
 // construct with New. A Client is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base      string
+	hc        *http.Client
+	retryMax  int
+	retryBase time.Duration
 }
 
 // Option configures New.
@@ -30,6 +33,27 @@ type Option func(*Client)
 // transports, test doubles). The default is http.DefaultClient.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry opts in to automatic retry of rate-limited (429) and
+// temporarily unavailable (503) responses: up to max retries, sleeping a
+// capped exponential backoff with jitter between attempts (base doubling
+// per attempt, capped at 30×base, jittered into [d/2, d]), never less
+// than the server's Retry-After hint and never past the request context's
+// deadline — when the remaining budget cannot cover the wait, the 429/503
+// surfaces immediately instead.
+//
+// Only whole-request rejections are retried. Once a response body has
+// started streaming — in particular a sweep's NDJSON cells — nothing is
+// retried: a half-consumed grid must surface, not silently restart.
+func WithRetry(max int, base time.Duration) Option {
+	return func(c *Client) {
+		c.retryMax = max
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		c.retryBase = base
+	}
 }
 
 // New returns a client for the daemon at base (e.g.
@@ -54,11 +78,7 @@ func (c *Client) Ready(ctx context.Context) error {
 }
 
 func (c *Client) probe(ctx context.Context, path string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.get(ctx, path)
 	if err != nil {
 		return err
 	}
@@ -126,12 +146,14 @@ func (c *Client) RunLabeled(ctx context.Context, l *radiobcast.Labeling, p RunLa
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &body)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", radiobcast.LabelingContentType)
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", radiobcast.LabelingContentType)
+		return req, nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -188,11 +210,7 @@ func (c *Client) Sweep(ctx context.Context, sr SweepRequest, onCell func(SweepCe
 // Metrics fetches GET /metrics (Prometheus text format), for scrapers and
 // debugging.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
-	if err != nil {
-		return "", err
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.get(ctx, "/metrics")
 	if err != nil {
 		return "", err
 	}
@@ -209,13 +227,69 @@ func (c *Client) postJSON(ctx context.Context, path string, v any, accept string
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	return c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", accept)
+		return req, nil
+	})
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	return c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	})
+}
+
+// do executes one logical request, rebuilding it from build for each
+// attempt (bodies are consumed on send). Retry fires only on a 429 or 503
+// status — a decision made before a single body byte is read, so a
+// streaming response that already delivered data is never restarted. The
+// wait is an exponential backoff with jitter, raised to the server's
+// Retry-After hint when that is longer; if the context's deadline cannot
+// cover the wait, the rejection is returned to the caller unconsumed.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= c.retryMax {
+			return resp, nil
+		}
+		d := c.retryBase << attempt
+		if max := 30 * c.retryBase; d > max {
+			d = max
+		}
+		d = d/2 + rand.N(d/2+1) // jitter into [d/2, d]
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil {
+				if hint := time.Duration(secs) * time.Second; hint > d {
+					d = hint
+				}
+			}
+		}
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+			return resp, nil // can't afford the wait; surface the 429/503
+		}
+		drainClose(resp.Body)
+		timer := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("Accept", accept)
-	return c.hc.Do(req)
 }
 
 func decodeRun(resp *http.Response) (*RunResponse, error) {

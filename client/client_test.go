@@ -1,0 +1,187 @@
+// Tests of the client's opt-in retry layer against scripted servers:
+// which statuses retry, how the budget and deadline bound it, and — the
+// non-negotiable — that a sweep stream is never restarted once it has
+// delivered data.
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"radiobcast/client"
+)
+
+// scriptedServer answers each request by popping the next status from
+// script; after the script runs out it serves a 200 RunResponse.
+func scriptedServer(t *testing.T, script []int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(hits.Add(1)) - 1
+		if n < len(script) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(script[n])
+			fmt.Fprintf(w, `{"error":{"code":"scripted","message":"try later"}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(client.RunResponse{Scheme: "b", N: 16, AllInformed: true})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func runReq() client.RunRequest {
+	return client.RunRequest{Graph: client.GraphSpec{Family: "grid", N: 16}, Scheme: "b"}
+}
+
+func TestRetryRecoversFrom429And503(t *testing.T) {
+	ts, hits := scriptedServer(t, []int{http.StatusTooManyRequests, http.StatusServiceUnavailable}, "")
+	c := client.New(ts.URL, client.WithRetry(3, time.Millisecond))
+	out, err := c.Run(context.Background(), runReq())
+	if err != nil {
+		t.Fatalf("Run with retry: %v", err)
+	}
+	if !out.AllInformed || out.N != 16 {
+		t.Fatalf("unexpected response after retries: %+v", out)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 rejections + success)", got)
+	}
+}
+
+func TestNoRetryWithoutOptIn(t *testing.T) {
+	ts, hits := scriptedServer(t, []int{http.StatusServiceUnavailable}, "")
+	c := client.New(ts.URL)
+	_, err := c.Run(context.Background(), runReq())
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (retry is opt-in)", got)
+	}
+}
+
+func TestNoRetryOnNonRetryableStatus(t *testing.T) {
+	ts, hits := scriptedServer(t, []int{http.StatusBadRequest}, "")
+	c := client.New(ts.URL, client.WithRetry(3, time.Millisecond))
+	_, err := c.Run(context.Background(), runReq())
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (400 is not retryable)", got)
+	}
+}
+
+func TestRetryBudgetExhausts(t *testing.T) {
+	ts, hits := scriptedServer(t, []int{503, 503, 503, 503, 503, 503}, "")
+	c := client.New(ts.URL, client.WithRetry(2, time.Millisecond))
+	_, err := c.Run(context.Background(), runReq())
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable || ae.Code != "scripted" {
+		t.Fatalf("err = %v, want the final 503 surfaced", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestRetryHonorsDeadline pins the deadline interaction: when the server
+// demands a wait the context cannot afford (Retry-After far beyond the
+// deadline), the rejection surfaces immediately instead of sleeping into
+// certain failure.
+func TestRetryHonorsDeadline(t *testing.T) {
+	ts, hits := scriptedServer(t, []int{429, 429, 429}, "30")
+	c := client.New(ts.URL, client.WithRetry(3, time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Run(ctx, runReq())
+	elapsed := time.Since(start)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want the 429 surfaced", err)
+	}
+	if ae.RetryAfter != 30*time.Second {
+		t.Fatalf("RetryAfter = %v, want 30s parsed from the header", ae.RetryAfter)
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("took %v: client slept toward a wait the deadline could never cover", elapsed)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+// TestSweepNeverRetriesMidStream is the partial-read guarantee: a sweep
+// whose NDJSON stream dies after delivering cells must surface the
+// truncation, not silently re-POST the sweep.
+func TestSweepNeverRetriesMidStream(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		cell := client.SweepLine{Cell: &client.SweepCellResult{Family: "path", Size: 8, Scheme: "b"}}
+		_ = json.NewEncoder(w).Encode(cell)
+		// No done line, no more cells: the stream is truncated.
+	}))
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL, client.WithRetry(5, time.Millisecond))
+	cells, err := c.Sweep(context.Background(), client.SweepRequest{
+		Families: []string{"path"}, Sizes: []int{8}, Schemes: []string{"b"},
+	}, nil)
+	if err == nil {
+		t.Fatal("truncated sweep stream reported no error")
+	}
+	if cells != 1 {
+		t.Fatalf("cells = %d, want 1 (the delivered cell counts)", cells)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d sweep POSTs, want 1 — a partial stream must never be retried", got)
+	}
+}
+
+// TestSweepRetriesBeforeStream: whole-request rejections (429 before any
+// NDJSON is written) are still retried for sweeps — the stream has not
+// started, so the request is safely repeatable.
+func TestSweepRetriesBeforeStream(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error":{"code":"saturated","message":"pool full"}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(client.SweepLine{Cell: &client.SweepCellResult{Family: "path", Size: 8, Scheme: "b"}})
+		_ = enc.Encode(client.SweepLine{Done: &client.SweepSummary{Cells: 1}})
+	}))
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL, client.WithRetry(2, time.Millisecond))
+	cells, err := c.Sweep(context.Background(), client.SweepRequest{
+		Families: []string{"path"}, Sizes: []int{8}, Schemes: []string{"b"},
+	}, nil)
+	if err != nil {
+		t.Fatalf("sweep after pre-stream 429: %v", err)
+	}
+	if cells != 1 || hits.Load() != 2 {
+		t.Fatalf("cells = %d, hits = %d; want 1 cell over 2 requests", cells, hits.Load())
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-exp FIG1,T29,...] [-quick] [-workers N] [-csv] [-o file]
+//	experiments [-exp FIG1,T29,...] [-table fault] [-quick] [-workers N] [-csv] [-o file]
 //	experiments -list
 package main
 
@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"radiobcast/internal/cliutil"
@@ -20,12 +21,13 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment IDs, or \"all\"")
-		quick   = flag.Bool("quick", false, "run reduced sweeps")
-		workers = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		outFile = flag.String("o", "", "write output to file instead of stdout")
-		list    = flag.Bool("list", false, "list registered experiments and exit")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment IDs, or \"all\"")
+		tableFlag = flag.String("table", "", "named experiment group (fault, figure, theorems, baseline, ablation); overrides -exp")
+		quick     = flag.Bool("quick", false, "run reduced sweeps")
+		workers   = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outFile   = flag.String("o", "", "write output to file instead of stdout")
+		list      = flag.Bool("list", false, "list registered experiments and exit")
 
 		showVersion = cliutil.VersionFlag("experiments")
 	)
@@ -41,9 +43,26 @@ func main() {
 
 	cfg := experiments.Config{Quick: *quick, Workers: *workers}
 	var entries []experiments.Entry
-	if *expFlag == "all" {
+	switch {
+	case *tableFlag != "":
+		ids, ok := experiments.Groups[strings.TrimSpace(*tableFlag)]
+		if !ok {
+			names := make([]string, 0, len(experiments.Groups))
+			for name := range experiments.Groups {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(os.Stderr, "experiments: unknown table group %q (have: %s)\n",
+				*tableFlag, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		for _, id := range ids {
+			e, _ := experiments.Find(id)
+			entries = append(entries, e)
+		}
+	case *expFlag == "all":
 		entries = experiments.Registry
-	} else {
+	default:
 		for _, id := range strings.Split(*expFlag, ",") {
 			e, ok := experiments.Find(strings.TrimSpace(id))
 			if !ok {

@@ -30,6 +30,11 @@ var (
 	// ErrSessionClosed reports an operation on a Session after Close: the
 	// session is draining (or drained) and accepts no new work.
 	ErrSessionClosed = errors.New("session closed")
+	// ErrBadFaultSpec reports an unusable fault-model description: an
+	// unknown model name, a NaN or out-of-range rate, or a malformed
+	// schedule. Faults never fail silently — a spec either materializes or
+	// the run refuses to start.
+	ErrBadFaultSpec = errors.New("bad fault spec")
 )
 
 // errorCodes maps every sentinel above to its stable machine-readable
@@ -46,11 +51,13 @@ var errorCodes = []struct {
 	{ErrNilNetwork, "nil_network"},
 	{ErrLabelingMismatch, "labeling_mismatch"},
 	{ErrSessionClosed, "session_closed"},
+	{ErrBadFaultSpec, "bad_fault_spec"},
 }
 
 // ErrorCode maps err to the stable machine-readable code of the facade
 // sentinel it wraps ("unknown_scheme", "node_out_of_range", "nil_network",
-// "labeling_mismatch", "session_closed"). The second result is false when
+// "labeling_mismatch", "session_closed", "bad_fault_spec"). The second
+// result is false when
 // err wraps none of the sentinels — cancellation, I/O and other
 // non-facade errors have no code here; network-facing callers translate
 // those themselves (the daemon uses "canceled" and "internal").
@@ -114,4 +121,20 @@ func labelingMismatch(format string, args ...any) error {
 
 func nilNetwork() error {
 	return fmt.Errorf("radiobcast: %w", ErrNilNetwork)
+}
+
+// BadFaultSpecError is the errors.As carrier for ErrBadFaultSpec.
+type BadFaultSpecError struct {
+	// Reason describes what made the spec unusable.
+	Reason string
+}
+
+func (e *BadFaultSpecError) Error() string {
+	return "radiobcast: bad fault spec: " + e.Reason
+}
+
+func (e *BadFaultSpecError) Unwrap() error { return ErrBadFaultSpec }
+
+func badFaultSpec(format string, args ...any) error {
+	return &BadFaultSpecError{Reason: fmt.Sprintf(format, args...)}
 }

@@ -133,6 +133,7 @@ var sentinelCodes = map[string]struct {
 	"ErrNilNetwork":       {radiobcast.ErrNilNetwork, "nil_network"},
 	"ErrLabelingMismatch": {radiobcast.ErrLabelingMismatch, "labeling_mismatch"},
 	"ErrSessionClosed":    {radiobcast.ErrSessionClosed, "session_closed"},
+	"ErrBadFaultSpec":     {radiobcast.ErrBadFaultSpec, "bad_fault_spec"},
 }
 
 // TestErrorCode checks the mapping itself: every sentinel (and anything

@@ -1,0 +1,227 @@
+package radiobcast
+
+import (
+	"math"
+
+	"radiobcast/internal/faults"
+	"radiobcast/internal/graph"
+)
+
+// ChurnEvent is one scheduled topology mutation of the "churn" fault
+// model: at the start of Round, the edge {U, V} appears (Add true) or
+// disappears. See FaultSpec.
+type ChurnEvent = faults.ChurnEvent
+
+// Fault-model names accepted in FaultSpec.Model.
+const (
+	// FaultModelRate is the i.i.d. channel: every transmission is
+	// independently jammed with probability Rate (the FaultRate model).
+	FaultModelRate = "rate"
+	// FaultModelJam is the budgeted adversarial jammer (greedy
+	// frontier-targeting or oblivious; see FaultSpec.Greedy).
+	FaultModelJam = "jam"
+	// FaultModelCrash is seeded crash–recovery with a heard-state policy.
+	FaultModelCrash = "crash"
+	// FaultModelChurn replays an edge add/remove schedule mid-run.
+	FaultModelChurn = "churn"
+	// FaultModelDuty is deterministic duty-cycling (periodic sleep).
+	FaultModelDuty = "duty"
+)
+
+// FaultSpec is the declarative, wire-transportable description of a fault
+// model: the facade (WithFaultSpec), the sweep Faults axis and the daemon
+// request schema all accept the same struct. Model selects one of the
+// five models; the other fields parameterize it (unused fields are
+// ignored). Compose, when non-empty, ignores Model and runs the listed
+// specs as one composed adversary.
+//
+// A spec is validated when the run is prepared; invalid specs (unknown
+// model, NaN or out-of-range rates, malformed schedules) are rejected
+// with ErrBadFaultSpec before anything executes.
+type FaultSpec struct {
+	// Model names the fault model: "rate", "jam", "crash", "churn" or
+	// "duty" (the FaultModel* constants).
+	Model string `json:"model"`
+	// Seed drives the model's deterministic randomness. The sweep adds the
+	// repeat index so repeats see distinct fault patterns.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Rate is the per-transmission jam probability ("rate") or the
+	// per-node, per-round crash probability ("crash"); must lie in [0, 1].
+	Rate float64 `json:"rate,omitempty"`
+
+	// Budget bounds the total jams of "jam" (≤ 0 = unlimited).
+	Budget int `json:"budget,omitempty"`
+	// PerRound bounds the jams per round of "jam" (≤ 0 = unlimited).
+	PerRound int `json:"per_round,omitempty"`
+	// From and To bound the active round window of "jam" and "crash",
+	// inclusive; zero means unbounded on that side.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// Nodes restricts "jam" to the listed transmitters (empty = any).
+	Nodes []int `json:"nodes,omitempty"`
+	// Greedy selects "jam"'s frontier-targeting strategy (jam the
+	// transmissions that would inform the most uninformed listeners);
+	// false is the oblivious seeded variant.
+	Greedy bool `json:"greedy,omitempty"`
+
+	// Down is the outage length in rounds of "crash" (< 1 = 1).
+	Down int `json:"down,omitempty"`
+	// Lose makes crashing nodes drop their pending reception ("crash").
+	Lose bool `json:"lose,omitempty"`
+
+	// Period and On define "duty"'s schedule: awake the first On rounds of
+	// every Period-round cycle, asleep the rest.
+	Period int `json:"period,omitempty"`
+	On     int `json:"on,omitempty"`
+
+	// Events is "churn"'s edge add/remove schedule. Events whose nodes
+	// exceed the actual graph size are skipped at run time, so one
+	// schedule can ride a multi-size sweep.
+	Events []ChurnEvent `json:"events,omitempty"`
+
+	// Compose runs the listed specs as one composed model (union of
+	// effects; the last churn member controls the topology). When
+	// non-empty, every other field of the outer spec is ignored.
+	Compose []FaultSpec `json:"compose,omitempty"`
+}
+
+// WithFaultSpec injects faults through a declarative model description —
+// the option behind every fault model richer than a drop probability:
+//
+//	out, err := radiobcast.Run(net, "b",
+//		radiobcast.WithFaultSpec(radiobcast.FaultSpec{
+//			Model: "jam", Greedy: true, Budget: 10, Seed: 7,
+//		}))
+//
+// The spec is validated during run preparation; errors wrap
+// ErrBadFaultSpec.
+func WithFaultSpec(spec FaultSpec) Option {
+	return func(c *Config) { c.Fault = &spec }
+}
+
+// FaultRate injects the i.i.d. fault channel: each transmission is
+// independently jammed with probability rate, decided by a seeded hash,
+// so the same (rate, seed) always jams the same transmissions. Rate 0 is
+// the clean channel; rate ≥ 1 jams every transmission; NaN and negative
+// rates are rejected with ErrBadFaultSpec when the run is prepared.
+//
+// It is shorthand for WithFaultSpec(FaultSpec{Model: "rate", …}).
+func FaultRate(rate float64, seed int64) Option {
+	return WithFaultSpec(FaultSpec{Model: FaultModelRate, Rate: rate, Seed: seed})
+}
+
+// name renders the spec's axis label in sweep cells and tables.
+func (f *FaultSpec) name() string {
+	if len(f.Compose) > 0 {
+		s := ""
+		for i := range f.Compose {
+			if i > 0 {
+				s += "+"
+			}
+			s += f.Compose[i].name()
+		}
+		return s
+	}
+	return f.Model
+}
+
+// Validate checks the graph-independent part of the spec: the model name
+// and every numeric parameter. Run preparation calls it implicitly;
+// network front-ends call it up front so a bad spec fails before a
+// streaming response commits to a status line. Errors wrap
+// ErrBadFaultSpec.
+func (f *FaultSpec) Validate() error { return f.validate() }
+
+// validate checks the graph-independent part of the spec.
+func (f *FaultSpec) validate() error {
+	if len(f.Compose) > 0 {
+		for i := range f.Compose {
+			if len(f.Compose[i].Compose) > 0 {
+				return badFaultSpec("compose members cannot themselves compose")
+			}
+			if err := f.Compose[i].validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch f.Model {
+	case FaultModelRate, FaultModelCrash:
+		// NaN fails every comparison, so spell the check as "not in range".
+		if !(f.Rate >= 0) || math.IsNaN(f.Rate) {
+			return badFaultSpec("model %q: rate %v is not a probability", f.Model, f.Rate)
+		}
+		if f.Model == FaultModelCrash && f.Rate > 1 {
+			return badFaultSpec("model %q: rate %v exceeds 1", f.Model, f.Rate)
+		}
+	case FaultModelJam:
+		for _, v := range f.Nodes {
+			if v < 0 {
+				return badFaultSpec("model %q: negative target node %d", f.Model, v)
+			}
+		}
+	case FaultModelDuty:
+		if f.Period < 1 {
+			return badFaultSpec("model %q: period %d must be ≥ 1", f.Model, f.Period)
+		}
+		if f.On < 0 || f.On > f.Period {
+			return badFaultSpec("model %q: on %d outside [0, %d]", f.Model, f.On, f.Period)
+		}
+	case FaultModelChurn:
+		for _, e := range f.Events {
+			if e.U < 0 || e.V < 0 || e.U == e.V {
+				return badFaultSpec("model %q: bad event edge {%d,%d}", f.Model, e.U, e.V)
+			}
+		}
+	case "":
+		return badFaultSpec("missing model name")
+	default:
+		return badFaultSpec("unknown model %q", f.Model)
+	}
+	return nil
+}
+
+// materialize validates the spec and builds a fresh model instance bound
+// to g. Models are stateful, so every run (and every sweep cell) gets its
+// own instance.
+func (f *FaultSpec) materialize(g *graph.Graph) (faults.Model, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	if len(f.Compose) > 0 {
+		ms := make([]faults.Model, 0, len(f.Compose))
+		for i := range f.Compose {
+			m, err := f.Compose[i].materialize(g)
+			if err != nil {
+				return nil, err
+			}
+			ms = append(ms, m)
+		}
+		return faults.Compose(ms...), nil
+	}
+	switch f.Model {
+	case FaultModelRate:
+		if f.Rate == 0 {
+			return nil, nil // clean channel
+		}
+		return faults.NewRate(f.Rate, f.Seed), nil
+	case FaultModelJam:
+		return faults.NewJam(faults.JamConfig{
+			Budget: f.Budget, PerRound: f.PerRound,
+			From: f.From, To: f.To,
+			Nodes: f.Nodes, Greedy: f.Greedy, Seed: f.Seed,
+		}), nil
+	case FaultModelCrash:
+		return faults.NewCrash(faults.CrashConfig{
+			Rate: f.Rate, Down: f.Down, Lose: f.Lose,
+			From: f.From, To: f.To, Seed: f.Seed,
+		}), nil
+	case FaultModelDuty:
+		return faults.NewDutyCycle(faults.DutyConfig{
+			Period: f.Period, On: f.On, Seed: f.Seed,
+		}), nil
+	default: // FaultModelChurn; validate rejected everything else
+		return faults.NewChurn(g, f.Events), nil
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"radiobcast/internal/core"
+	"radiobcast/internal/faults"
 	"radiobcast/internal/graph"
 	"radiobcast/internal/radio"
 	"radiobcast/internal/sweep"
@@ -63,9 +64,9 @@ func FaultExperiment(cfg Config) ([]*Table, error) {
 			res := radio.Run(g, ps, radio.Options{
 				MaxRounds:       4 * g.N(),
 				StopAfterSilent: 3,
-				Drop: func(node, round int) bool {
+				Faults: faults.DropFunc(func(node, round int) bool {
 					return node == e.node && round == e.round
-				},
+				}),
 			})
 			informed := true
 			for v := 0; v < g.N(); v++ {

@@ -142,7 +142,19 @@ var Registry = []Entry{
 	{"ABLZ", "Ablation: z must be a last-informed node", ZAblationExperiment},
 	{"ONEBIT", "§5: one-bit schemes for paths, cycles, grids; search study", OneBitExperiment},
 	{"FAULT", "Extension: single-transmission erasures vs algorithm B", FaultExperiment},
+	{"DEGRADE", "Extension: graceful degradation under adversarial fault models", DegradeExperiment},
 	{"PAR", "Infrastructure: parallel engine equivalence and speedup", ParallelExperiment},
+}
+
+// Groups names thematic experiment subsets for cmd/experiments' -table
+// flag: a friendly handle (e.g. "fault") expands to the IDs that tell
+// that chapter's story.
+var Groups = map[string][]string{
+	"fault":    {"FAULT", "DEGRADE"},
+	"figure":   {"FIG1"},
+	"theorems": {"T29", "L26", "F31", "T39", "CR"},
+	"baseline": {"BASE", "MSG", "ENERGY"},
+	"ablation": {"ABLDOM", "ABLZ"},
 }
 
 // Find returns the registered experiment with the given ID.

@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"sort"
+
+	"radiobcast/internal/graph"
+)
+
+// ChurnEvent is one scheduled topology mutation: at the start of Round,
+// the undirected edge {U, V} appears (Add) or disappears. Events on
+// already-present (or already-absent) edges are no-ops, matching the
+// graph's AddEdge/RemoveEdge tolerance.
+type ChurnEvent struct {
+	Round int  `json:"round"`
+	Add   bool `json:"add"`
+	U     int  `json:"u"`
+	V     int  `json:"v"`
+}
+
+// churn replays an edge add/remove schedule against a private clone of
+// the base graph, re-freezing into a model-owned CSR buffer whenever the
+// topology actually changes.
+type churn struct {
+	base   *graph.Graph
+	events []ChurnEvent // sorted by round, original order preserved within a round
+
+	g    *graph.Graph
+	next int
+	csr  graph.CSR
+}
+
+// NewChurn returns a topology-churn model applying events to (a private
+// clone of) base. The schedule is sorted by round; events sharing a round
+// apply in their given order.
+func NewChurn(base *graph.Graph, events []ChurnEvent) TopologyModel {
+	evs := append([]ChurnEvent(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Round < evs[j].Round })
+	return &churn{base: base, events: evs}
+}
+
+func (c *churn) Reset(int) {
+	c.g = c.base.Clone()
+	c.next = 0
+}
+
+func (c *churn) Apply(*State, []Effect) {}
+
+func (c *churn) Topology(round int) *graph.CSR {
+	changed := false
+	for c.next < len(c.events) && c.events[c.next].Round <= round {
+		e := c.events[c.next]
+		c.next++
+		if e.U == e.V || e.U < 0 || e.U >= c.g.N() || e.V < 0 || e.V >= c.g.N() {
+			continue
+		}
+		if e.Add {
+			if c.g.HasEdge(e.U, e.V) {
+				continue
+			}
+			c.g.AddEdge(e.U, e.V)
+		} else {
+			if !c.g.HasEdge(e.U, e.V) {
+				continue
+			}
+			c.g.RemoveEdge(e.U, e.V)
+		}
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	c.g.FreezeInto(&c.csr)
+	return &c.csr
+}

@@ -40,6 +40,30 @@ func (g *Graph) Freeze() *CSR {
 	return g.csr
 }
 
+// FreezeInto rebuilds dst as the CSR form of g, reusing dst's arrays when
+// they are large enough. It is the incremental-re-freeze primitive for
+// callers that mutate a graph mid-run (topology churn) and want a fresh
+// snapshot every few rounds without an allocation per rebuild. Unlike
+// Freeze it neither reads nor populates the graph's CSR cache: dst is
+// owned by the caller, and later graph mutations do not invalidate it.
+func (g *Graph) FreezeInto(dst *CSR) {
+	if cap(dst.Offsets) < g.n+1 {
+		dst.Offsets = make([]int32, g.n+1)
+	}
+	dst.Offsets = dst.Offsets[:g.n+1]
+	if cap(dst.Targets) < 2*g.m {
+		dst.Targets = make([]int32, 0, 2*g.m)
+	}
+	dst.Targets = dst.Targets[:0]
+	for v := 0; v < g.n; v++ {
+		dst.Offsets[v] = int32(len(dst.Targets))
+		for _, w := range g.adj[v] {
+			dst.Targets = append(dst.Targets, int32(w))
+		}
+	}
+	dst.Offsets[g.n] = int32(len(dst.Targets))
+}
+
 // N returns the number of nodes.
 func (c *CSR) N() int { return len(c.Offsets) - 1 }
 

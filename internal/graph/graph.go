@@ -67,6 +67,29 @@ func (g *Graph) AddEdge(u, v int) {
 	g.fpValid = false
 }
 
+// RemoveEdge deletes the undirected edge {u, v}. Removing an absent edge
+// is a no-op, mirroring AddEdge's tolerance of re-adds.
+func (g *Graph) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v || !g.HasEdge(u, v) {
+		return
+	}
+	g.remove(u, v)
+	g.remove(v, u)
+	g.m--
+	g.sets = nil // invalidate caches
+	g.csr = nil
+	g.fpValid = false
+}
+
+func (g *Graph) remove(u, v int) {
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	copy(a[i:], a[i+1:])
+	g.adj[u] = a[:len(a)-1]
+}
+
 func (g *Graph) insert(u, v int) {
 	a := g.adj[u]
 	i := sort.SearchInts(a, v)

@@ -167,3 +167,104 @@ func TestQuickEdgeSymmetry(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.RemoveEdge(2, 1)
+	if g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Fatal("edge {1,2} survived removal")
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d after removal, want 2", g.M())
+	}
+	if d := g.Degree(1); d != 1 {
+		t.Fatalf("deg(1) = %d after removal, want 1", d)
+	}
+	// Removing an absent edge (or a self-loop coordinate) is a no-op.
+	g.RemoveEdge(1, 2)
+	g.RemoveEdge(4, 4)
+	g.RemoveEdge(0, 4)
+	if g.M() != 2 {
+		t.Fatalf("no-op removals changed M to %d", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove-then-re-add round-trips.
+	g.AddEdge(1, 2)
+	if !g.HasEdge(1, 2) || g.M() != 3 {
+		t.Fatal("re-add after removal failed")
+	}
+}
+
+func TestRemoveEdgeInvalidatesCaches(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	csr := g.Freeze()
+	fp := g.Fingerprint()
+	set := g.NeighborSet(1)
+	if !set.Has(2) {
+		t.Fatal("precondition: 2 in N(1)")
+	}
+	g.RemoveEdge(1, 2)
+	if g.Freeze() == csr {
+		t.Fatal("RemoveEdge did not invalidate the CSR cache")
+	}
+	if g.Freeze().M() != 2 {
+		t.Fatalf("refrozen CSR has M = %d, want 2", g.Freeze().M())
+	}
+	if g.Fingerprint() == fp {
+		t.Fatal("RemoveEdge did not change the fingerprint")
+	}
+	if g.NeighborSet(1).Has(2) {
+		t.Fatal("RemoveEdge did not invalidate the neighbor-set cache")
+	}
+}
+
+func TestFreezeInto(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	var dst CSR
+	g.FreezeInto(&dst)
+	want := g.Freeze()
+	if !reflect.DeepEqual(dst.Offsets, want.Offsets) || !reflect.DeepEqual(dst.Targets, want.Targets) {
+		t.Fatalf("FreezeInto = %+v, Freeze = %+v", dst, want)
+	}
+	// FreezeInto does not touch the graph's cache: the cached CSR keeps
+	// its identity and its contents across an into-freeze.
+	if g.Freeze() != want {
+		t.Fatal("FreezeInto disturbed the Freeze cache")
+	}
+
+	// Mutate and re-freeze into the same buffers: contents track the
+	// graph, and when capacity suffices the arrays are reused.
+	g.AddEdge(2, 3)
+	offsBefore, tgtsBefore := &dst.Offsets[0], cap(dst.Targets)
+	g.FreezeInto(&dst)
+	if dst.M() != 3 || dst.Degree(2) != 2 {
+		t.Fatalf("re-freeze content wrong: M=%d deg(2)=%d", dst.M(), dst.Degree(2))
+	}
+	if &dst.Offsets[0] != offsBefore {
+		t.Fatal("re-freeze with sufficient capacity reallocated Offsets")
+	}
+	_ = tgtsBefore
+	// The caller-owned snapshot is decoupled from later mutations.
+	g.RemoveEdge(0, 1)
+	if dst.M() != 3 {
+		t.Fatal("caller-owned CSR changed under a later graph mutation")
+	}
+	// Shrinking works too: a smaller graph refreezes cleanly into the
+	// larger buffer.
+	small := New(2)
+	small.AddEdge(0, 1)
+	small.FreezeInto(&dst)
+	if dst.N() != 2 || dst.M() != 1 {
+		t.Fatalf("shrink re-freeze: N=%d M=%d, want 2,1", dst.N(), dst.M())
+	}
+}

@@ -8,3 +8,18 @@ func (s *Server) AcquireSweepSlot() func() {
 	s.sweepSem <- struct{}{}
 	return func() { <-s.sweepSem }
 }
+
+// HandlerFunc re-exports the route-body signature for test routes.
+type HandlerFunc = handlerFunc
+
+// RegisterTestRoute mounts an extra handler behind the daemon's full
+// middleware stack (metrics + panic recovery), attributed to the named
+// metrics endpoint. Test-only: it lets middleware behavior — panic
+// recovery in particular — be exercised without teaching a production
+// handler to fail on demand.
+func (s *Server) RegisterTestRoute(pattern, endpoint string, h HandlerFunc) {
+	s.mux.Handle(pattern, s.instrumented(endpoint, h))
+}
+
+// PanicsTotal reads the recovered-panic counter.
+func (s *Server) PanicsTotal() uint64 { return s.panics.Load() }

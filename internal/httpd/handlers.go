@@ -178,6 +178,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	if req.FaultRate < 0 || req.FaultRate >= 1 {
 		return badRequest("fault_rate %g outside [0,1)", req.FaultRate).write(w)
 	}
+	if req.Fault != nil && req.FaultRate > 0 {
+		return badRequest("request has both fault_rate and fault; send one").write(w)
+	}
 	if req.MaxRounds > s.cfg.MaxRounds {
 		return limitExceeded("max_rounds %d exceeds the limit of %d", req.MaxRounds, s.cfg.MaxRounds).write(w)
 	}
@@ -193,18 +196,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) int {
 	if req.MaxRounds > 0 {
 		opts = append(opts, radiobcast.WithMaxRounds(req.MaxRounds))
 	}
-	if req.FaultRate > 0 {
-		seed := req.Seed
-		if seed == 0 {
-			seed = 1
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	faulty := false
+	switch {
+	case req.Fault != nil:
+		fs := *req.Fault
+		if fs.Seed == 0 {
+			fs.Seed = seed
 		}
-		opts = append(opts, radiobcast.WithFaults(radiobcast.FaultRate(req.FaultRate, seed)))
+		// An invalid spec surfaces as bad_fault_spec from the facade.
+		opts = append(opts, radiobcast.WithFaultSpec(fs))
+		faulty = true
+	case req.FaultRate > 0:
+		opts = append(opts, radiobcast.FaultRate(req.FaultRate, seed))
+		faulty = true
 	}
 	out, err := s.sess.Run(r.Context(), net, req.Scheme, opts...)
 	if err != nil {
 		return writeFacadeError(w, err)
 	}
-	return writeJSON(w, outcomeJSON(out, req.FaultRate > 0))
+	return writeJSON(w, outcomeJSON(out, faulty))
 }
 
 // handleRunLabeled executes a broadcast over an uploaded wire-format
@@ -269,8 +283,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) int {
 	}
 	spec := radiobcast.SweepSpec{
 		Families: req.Families, Sizes: req.Sizes, Schemes: req.Schemes,
-		Sources: req.Sources, FaultRates: req.FaultRates, Repeats: req.Repeats,
-		Mu: req.Mu, MaxRounds: req.MaxRounds, Seed: req.Seed,
+		Sources: req.Sources, FaultRates: req.FaultRates, Faults: req.Faults,
+		Repeats: req.Repeats,
+		Mu:      req.Mu, MaxRounds: req.MaxRounds, Seed: req.Seed,
 		Workers: s.cfg.SweepWorkers,
 	}
 	if herr := s.validateSweep(&req); herr != nil {
@@ -340,11 +355,17 @@ func (s *Server) validateSweep(req *client.SweepRequest) *httpErr {
 			return badRequest("fault_rate %g outside [0,1)", rate)
 		}
 	}
+	for i, fs := range req.Faults {
+		if err := fs.Validate(); err != nil {
+			return &httpErr{http.StatusBadRequest, "bad_fault_spec",
+				fmt.Sprintf("faults[%d]: %v", i, err)}
+		}
+	}
 	if req.MaxRounds > s.cfg.MaxRounds {
 		return limitExceeded("max_rounds %d exceeds the limit of %d", req.MaxRounds, s.cfg.MaxRounds)
 	}
 	cells := len(req.Families) * len(req.Sizes) * len(req.Schemes) *
-		max(1, len(req.Sources)) * max(1, len(req.FaultRates)) * max(1, req.Repeats)
+		max(1, len(req.Sources)) * max(1, len(req.FaultRates)+len(req.Faults)) * max(1, req.Repeats)
 	if cells > s.cfg.MaxSweepCells {
 		return limitExceeded("sweep grid has %d cells, exceeding the limit of %d", cells, s.cfg.MaxSweepCells)
 	}
@@ -354,12 +375,15 @@ func (s *Server) validateSweep(req *client.SweepRequest) *httpErr {
 func cellJSON(res radiobcast.CellResult) *client.SweepCellResult {
 	c := &client.SweepCellResult{
 		Family: res.Cell.Family, Size: res.Cell.Size, Scheme: res.Cell.Scheme,
-		Source: res.Cell.Source, FaultRate: res.Cell.FaultRate, Repeat: res.Cell.Repeat,
-		Index: res.Index, N: res.N, Verified: res.Verified,
+		Source: res.Cell.Source, FaultRate: res.Cell.FaultRate, Fault: res.Cell.Fault,
+		Repeat: res.Cell.Repeat,
+		Index:  res.Index, N: res.N, Verified: res.Verified,
 	}
 	if res.Outcome != nil {
 		c.AllInformed = res.Outcome.AllInformed
 		c.CompletionRound = res.Outcome.CompletionRound
+		c.Coverage = res.Outcome.Coverage
+		c.Degraded = string(res.Outcome.Degraded)
 		if res.Outcome.Result != nil {
 			c.Rounds = res.Outcome.Result.Rounds
 		}
@@ -375,6 +399,7 @@ func outcomeJSON(out *radiobcast.Outcome, faulty bool) *client.RunResponse {
 		Scheme: out.Scheme, N: out.Graph.N(), M: out.Graph.M(),
 		Source: out.Source, Mu: out.Mu,
 		AllInformed: out.AllInformed, CompletionRound: out.CompletionRound,
+		Coverage: out.Coverage, Degraded: string(out.Degraded),
 		AckRound: out.AckRound,
 	}
 	if out.Result != nil {

@@ -1,0 +1,183 @@
+// Robustness tests of the daemon: the panic-recovery middleware and the
+// fault-model request schema.
+package httpd_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"radiobcast"
+	"radiobcast/client"
+	"radiobcast/internal/httpd"
+)
+
+// TestPanicRecovery pins the middleware contract: a panicking handler
+// answers 500 with the stable "internal" code, bumps
+// radiobcastd_panics_total, and leaves the daemon serving.
+func TestPanicRecovery(t *testing.T) {
+	srv, ts, c := newTestServer(t, httpd.Config{})
+	srv.RegisterTestRoute("GET /boom", "healthz", func(w http.ResponseWriter, r *http.Request) int {
+		panic("handler exploded")
+	})
+	srv.RegisterTestRoute("GET /boom-late", "healthz", func(w http.ResponseWriter, r *http.Request) int {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "partial")
+		panic("exploded after committing")
+	})
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatalf("GET /boom: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"internal"`) {
+		t.Fatalf("panicking handler body = %q, want the canonical internal error", body)
+	}
+
+	// A panic after the response committed cannot rewrite the status, but
+	// it must still be recovered and counted.
+	resp, err = http.Get(ts.URL + "/boom-late")
+	if err != nil {
+		t.Fatalf("GET /boom-late: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("committed-then-panicked handler: status = %d, want the already-sent 200", resp.StatusCode)
+	}
+
+	if got := srv.PanicsTotal(); got != 2 {
+		t.Fatalf("PanicsTotal = %d, want 2", got)
+	}
+	text, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "radiobcastd_panics_total 2") {
+		t.Fatalf("metrics missing panic counter:\n%s", text)
+	}
+	// The daemon keeps serving real work after both panics.
+	out, err := c.Run(context.Background(), client.RunRequest{
+		Graph: client.GraphSpec{Family: "grid", N: 16}, Scheme: "b",
+	})
+	if err != nil || !out.Verified {
+		t.Fatalf("run after panics: out=%+v err=%v", out, err)
+	}
+}
+
+// TestRunFaultSpec exercises the fault-model request schema end to end:
+// valid specs run (unverified, with coverage and a degradation grade),
+// invalid ones answer 400 bad_fault_spec, and the legacy fault_rate field
+// cannot be combined with a spec.
+func TestRunFaultSpec(t *testing.T) {
+	_, _, c := newTestServer(t, httpd.Config{})
+	ctx := context.Background()
+	grid := client.GraphSpec{Family: "grid", N: 25}
+
+	out, err := c.Run(ctx, client.RunRequest{
+		Graph: grid, Scheme: "b",
+		Fault: &radiobcast.FaultSpec{Model: radiobcast.FaultModelJam, Greedy: true, Budget: 5, Seed: 3},
+	})
+	if err != nil {
+		t.Fatalf("jam run: %v", err)
+	}
+	if out.Verified {
+		t.Fatalf("faulted run claims verification: %+v", out)
+	}
+	if out.Coverage <= 0 || out.Coverage > 1 || out.Degraded == "" {
+		t.Fatalf("jam run carries no degradation metrics: %+v", out)
+	}
+
+	// The boundary case rides the spec path: rate 1 jams every
+	// transmission, so nobody beyond the source hears anything.
+	out, err = c.Run(ctx, client.RunRequest{
+		Graph: grid, Scheme: "b",
+		Fault: &radiobcast.FaultSpec{Model: radiobcast.FaultModelRate, Rate: 1, Seed: 1},
+	})
+	if err != nil {
+		t.Fatalf("rate-1 run: %v", err)
+	}
+	if out.AllInformed || out.Degraded != string(radiobcast.DegradedTotal) {
+		t.Fatalf("rate-1 run should be total degradation: %+v", out)
+	}
+
+	for name, req := range map[string]client.RunRequest{
+		"unknown model": {Graph: grid, Scheme: "b", Fault: &radiobcast.FaultSpec{Model: "nope"}},
+		"bad duty":      {Graph: grid, Scheme: "b", Fault: &radiobcast.FaultSpec{Model: radiobcast.FaultModelDuty, Period: 0}},
+	} {
+		_, err := c.Run(ctx, req)
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.Code != "bad_fault_spec" || ae.Status != http.StatusBadRequest {
+			t.Fatalf("%s: err = %v, want 400 bad_fault_spec", name, err)
+		}
+	}
+
+	_, err = c.Run(ctx, client.RunRequest{
+		Graph: grid, Scheme: "b", FaultRate: 0.2,
+		Fault: &radiobcast.FaultSpec{Model: radiobcast.FaultModelRate, Rate: 0.2},
+	})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Code != "bad_request" {
+		t.Fatalf("fault_rate+fault together: err = %v, want 400 bad_request", err)
+	}
+}
+
+// TestSweepFaultsAxis streams a sweep whose grid includes the Faults
+// axis and checks the cells carry their fault labels and degradation
+// metrics.
+func TestSweepFaultsAxis(t *testing.T) {
+	_, _, c := newTestServer(t, httpd.Config{})
+	byFault := map[string]int{}
+	cells, err := c.Sweep(context.Background(), client.SweepRequest{
+		Families:   []string{"grid"},
+		Sizes:      []int{16},
+		Schemes:    []string{"b"},
+		FaultRates: []float64{0},
+		Faults: []radiobcast.FaultSpec{
+			{Model: radiobcast.FaultModelCrash, Rate: 0.1, Down: 2, Seed: 5},
+			{Model: radiobcast.FaultModelDuty, Period: 4, On: 3, Seed: 2},
+		},
+	}, func(cell client.SweepCellResult) error {
+		byFault[cell.Fault]++
+		if cell.Fault == "" {
+			if !cell.Verified {
+				t.Errorf("clean cell not verified: %+v", cell)
+			}
+			return nil
+		}
+		if cell.Verified {
+			t.Errorf("faulted cell %q claims verification: %+v", cell.Fault, cell)
+		}
+		if cell.Coverage <= 0 || cell.Degraded == "" {
+			t.Errorf("faulted cell %q missing degradation metrics: %+v", cell.Fault, cell)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != 3 {
+		t.Fatalf("streamed %d cells, want 3 (clean + crash + duty)", cells)
+	}
+	if byFault[""] != 1 || byFault["crash"] != 1 || byFault["duty"] != 1 {
+		t.Fatalf("fault labels off: %v", byFault)
+	}
+
+	// An invalid spec fails validation before the stream commits to 200.
+	_, err = c.Sweep(context.Background(), client.SweepRequest{
+		Families: []string{"path"}, Sizes: []int{8}, Schemes: []string{"b"},
+		Faults: []radiobcast.FaultSpec{{Model: "warp"}},
+	}, nil)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Code != "bad_fault_spec" || ae.Status != http.StatusBadRequest {
+		t.Fatalf("bad sweep fault spec: err = %v, want 400 bad_fault_spec", err)
+	}
+}

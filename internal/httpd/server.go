@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -119,6 +120,8 @@ type Server struct {
 	limiter  *rateLimiter // nil = unlimited
 	sweepSem chan struct{}
 	draining atomic.Bool
+	panics   atomic.Uint64
+	mux      *http.ServeMux
 	handler  http.Handler
 }
 
@@ -138,6 +141,7 @@ func New(cfg Config) *Server {
 		s.limiter = newRateLimiter(cfg.RatePerSec, cfg.RateBurst)
 	}
 	mux := http.NewServeMux()
+	s.mux = mux
 	mux.Handle("POST /v1/label", s.v1(http.MethodPost, "label", s.handleLabel))
 	mux.Handle("POST /v1/run", s.v1(http.MethodPost, "run", s.handleRun))
 	mux.Handle("POST /v1/run-labeled", s.v1(http.MethodPost, "run_labeled", s.handleRunLabeled))
@@ -261,18 +265,56 @@ func (s *Server) v1(method, name string, h handlerFunc) http.Handler {
 	})
 }
 
-// instrumented is the metrics layer every route (API or operational)
-// passes through.
+// instrumented is the metrics and panic-recovery layer every route (API
+// or operational) passes through. A panicking handler must not take the
+// daemon down or leave its request unanswered: the panic is logged and
+// counted (radiobcastd_panics_total), and — unless the handler already
+// committed a response — the client gets the canonical 500 body with
+// code "internal". Serving continues.
 func (s *Server) instrumented(name string, h handlerFunc) http.Handler {
 	ep := s.metrics.endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ep.inFlight.Add(1)
 		start := time.Now()
-		code := h(w, r)
+		tw := &trackingWriter{ResponseWriter: w}
+		code := func() (code int) {
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics.Add(1)
+					s.cfg.Logf("radiobcastd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+					if !tw.wrote {
+						writeError(tw, http.StatusInternalServerError, "internal", "internal error")
+					}
+					code = http.StatusInternalServerError
+				}
+			}()
+			return h(tw, r)
+		}()
 		ep.inFlight.Add(-1)
 		ep.observe(code, time.Since(start))
 	})
 }
+
+// trackingWriter records whether a response has been committed, so the
+// recovery layer knows whether a 500 can still be written. Unwrap keeps
+// http.NewResponseController (the sweep stream's flusher) working through
+// the wrapper.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+func (t *trackingWriter) Unwrap() http.ResponseWriter { return t.ResponseWriter }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -311,6 +353,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 		{"radiobcastd_sweeps_in_flight", "Sweeps currently holding a pool slot.", "gauge", float64(len(s.sweepSem))},
 		{"radiobcastd_sweep_slots", "Size of the sweep pool.", "gauge", float64(cap(s.sweepSem))},
 		{"radiobcastd_draining", "1 once graceful drain has begun.", "gauge", boolGauge(s.draining.Load())},
+		{"radiobcastd_panics_total", "Handler panics recovered by the serving layer.", "counter", float64(s.panics.Load())},
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

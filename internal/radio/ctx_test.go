@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"radiobcast/internal/faults"
 	"radiobcast/internal/graph"
 )
 
@@ -31,12 +32,12 @@ func TestRunCtxStopsWithinOneRound(t *testing.T) {
 	res := Run(g, chatterProtos(4), Options{
 		MaxRounds: 1 << 20,
 		Ctx:       ctx,
-		Drop: func(node, round int) bool {
+		Faults: faults.DropFunc(func(node, round int) bool {
 			if round >= cancelRound {
 				cancel()
 			}
 			return false
-		},
+		}),
 	})
 	if !res.Interrupted {
 		t.Fatal("cancelled run not marked Interrupted")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"radiobcast/internal/faults"
 	"radiobcast/internal/graph"
 )
 
@@ -42,12 +43,14 @@ type Options struct {
 	// deliveries (used for Figure 1 rendering and debugging).
 	Trace *Trace
 
-	// Drop, when non-nil, injects transmission faults: if Drop(v, round)
-	// returns true, node v's transmission in that round is jammed — no
-	// neighbour hears it (nor counts it towards a collision), while v
-	// itself believes it transmitted. Used by the FAULT experiment to
-	// measure how much the paper's schedule relies on lossless delivery.
-	Drop func(node, round int) bool
+	// Faults, when non-nil, injects faults through the composable model
+	// interface of internal/faults: jamming, crash–recovery, topology
+	// churn, duty-cycling, or any composition. The model is Reset at the
+	// start of the run and consulted twice per round (see faults.Model).
+	// Models are stateful: a model value must not be shared by runs that
+	// may execute concurrently. The historical Drop-hook API is available
+	// as faults.DropFunc.
+	Faults faults.Model
 
 	// Sim, when non-nil, is the reusable engine to run on: callers in a
 	// label-once/run-many loop pass the same Sim every time and amortise

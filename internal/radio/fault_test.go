@@ -3,6 +3,7 @@ package radio
 import (
 	"testing"
 
+	"radiobcast/internal/faults"
 	"radiobcast/internal/graph"
 )
 
@@ -11,7 +12,7 @@ func TestDropSuppressesDelivery(t *testing.T) {
 	ps := []Protocol{NewScripted(Message{Kind: KindData, Payload: "x"}, 1, 3), &Scripted{}}
 	res := Run(g, ps, Options{
 		MaxRounds: 4,
-		Drop:      func(node, round int) bool { return node == 0 && round == 1 },
+		Faults:    faults.DropFunc(func(node, round int) bool { return node == 0 && round == 1 }),
 	})
 	// Round 1 jammed; round 3 delivered.
 	if got := res.FirstReception(1, KindData); got != 3 {
@@ -34,7 +35,7 @@ func TestDropResolvesCollisions(t *testing.T) {
 	}
 	res := Run(g, ps, Options{
 		MaxRounds: 2,
-		Drop:      func(node, round int) bool { return node == 2 },
+		Faults:    faults.DropFunc(func(node, round int) bool { return node == 2 }),
 	})
 	if len(res.Receives[0]) != 1 || res.Receives[0][0].Msg.Payload != "a" {
 		t.Fatalf("centre receptions = %+v", res.Receives[0])
@@ -50,7 +51,7 @@ func TestDropAffectsNoiseFlag(t *testing.T) {
 	ps := []Protocol{NewScripted(Message{Kind: KindData}, 1), rec}
 	Run(g, ps, Options{
 		MaxRounds: 2,
-		Drop:      func(node, round int) bool { return true },
+		Faults:    faults.DropFunc(func(node, round int) bool { return true }),
 	})
 	if rec.busy[1] {
 		t.Fatal("jammed transmission must not register as noise")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"radiobcast/internal/faults"
 	"radiobcast/internal/graph"
 )
 
@@ -83,6 +84,14 @@ type Sim struct {
 
 	collisions []int
 	counts     []int // per-worker transmission tallies (parallel engine)
+
+	// Fault-injection state, live only when Options.Faults is set: the
+	// per-round effect vector written by the model and the monotone
+	// informed-set view it may consult (Heard in faults.State). The clean
+	// path never touches these beyond the s.faulted flag checks.
+	faulted bool
+	effects []faults.Effect
+	heard   []bool
 
 	// Flat event logs, materialized into Result at the end of a run.
 	txNodes  []int32
@@ -170,6 +179,23 @@ func (s *Sim) Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
 	csr := g.Freeze()
 	s.reset(n, workers, protos)
 
+	fm := opt.Faults
+	s.faulted = fm != nil
+	var topo faults.TopologyModel
+	// fst escapes through the Apply interface calls; allocate it only on
+	// faulted runs so the clean path stays allocation-free.
+	var fst *faults.State
+	if s.faulted {
+		s.effects = grow(s.effects, n)
+		s.heard = grow(s.heard, n)
+		if s.txList == nil {
+			s.txList = []int32{} // keep non-nil: nil signals the pre-step phase
+		}
+		fm.Reset(n)
+		topo, _ = fm.(faults.TopologyModel)
+		fst = &faults.State{}
+	}
+
 	sparse := !opt.DisableSparse
 	push := sparse && workers <= 1 // push-based channel resolution
 
@@ -189,6 +215,27 @@ func (s *Sim) Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
 		}
 		nx := 1 - s.cur
 
+		rxMark := len(s.rxNodes)
+		if s.faulted {
+			// Pre-step fault phase: swap in a churned topology, then let the
+			// model set this round's Down/Wipe bits before any protocol
+			// observes its pending reception.
+			if topo != nil {
+				if t := topo.Topology(round); t != nil {
+					csr = t
+				}
+			}
+			clear(s.effects)
+			*fst = faults.State{Round: round, CSR: csr, Heard: s.heard}
+			fm.Apply(fst, s.effects)
+			for v := 0; v < n; v++ {
+				if s.effects[v]&faults.Wipe != 0 {
+					s.sets[s.cur][v] = false
+					s.busys[s.cur][v] = false
+				}
+			}
+		}
+
 		// Phase 1: every node decides based on history through round−1.
 		if push {
 			s.txList = s.txList[:0]
@@ -201,21 +248,42 @@ func (s *Sim) Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
 			s.decide(round, sparse, push, 0, n)
 		}
 
+		if s.faulted {
+			// Post-decision fault phase: hand the model the round's
+			// transmitter list so transmission-level effects (Jam) can
+			// target it. Outside push mode the list is collected here —
+			// sequentially, in node order, matching push mode's ordering.
+			if !push {
+				s.txList = s.txList[:0]
+				for v := 0; v < n; v++ {
+					if s.actions[v].Transmit {
+						s.txList = append(s.txList, int32(v))
+					}
+				}
+			}
+			fst.Transmitters = s.txList
+			fm.Apply(fst, s.effects)
+		}
+
 		// Phase 2+3: resolve the channel at each listener and log events.
 		var transmitted int
 		if push {
-			transmitted = s.resolvePush(csr, round, opt.Drop)
+			transmitted = s.resolvePush(csr, round)
 		} else {
-			if opt.Drop != nil {
+			if s.faulted {
 				for v := 0; v < n; v++ {
-					s.dropped[v] = s.actions[v].Transmit && opt.Drop(v, round)
+					s.dropped[v] = s.actions[v].Transmit && s.effects[v]&faults.Jam != 0
 				}
 			}
 			if workers > 1 {
+				// Capture a per-round copy: csr itself is reassigned by the
+				// churn swap, and a closure over a reassigned variable would
+				// force it into a heap cell on every run, clean or faulted.
+				rcsr := csr
 				parallelRangeIdx(n, workers, func(w, lo, hi int) {
 					c := 0
 					for v := lo; v < hi; v++ {
-						c += s.resolvePull(csr, v)
+						c += s.resolvePull(rcsr, v)
 					}
 					s.counts[w] = c
 				})
@@ -237,6 +305,18 @@ func (s *Sim) Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
 					s.rxNodes = append(s.rxNodes, int32(v))
 					s.rxRecs = append(s.rxRecs, Reception{Round: round, Msg: s.msgs[nx][v]})
 				}
+			}
+		}
+		if s.faulted {
+			// Fold the round's deliveries and transmissions into the
+			// informed-set view the models consult next round. (A node that
+			// transmitted is informed even if it never received — the
+			// source.)
+			for _, w := range s.rxNodes[rxMark:] {
+				s.heard[w] = true
+			}
+			for _, t := range s.txList {
+				s.heard[t] = true
 			}
 		}
 		total += transmitted
@@ -304,6 +384,11 @@ func (s *Sim) decide(round int, sparse, collectTx bool, lo, hi int) {
 		} else {
 			s.actions[v] = s.stepNode(v)
 		}
+		if s.faulted && s.effects[v]&faults.Down != 0 && s.actions[v].Transmit {
+			// Radio off: the protocol stepped (its clock runs) and believes
+			// it transmitted, but nothing reaches the channel.
+			s.actions[v] = Listen
+		}
 		if collectTx && s.actions[v].Transmit {
 			s.txList = append(s.txList, int32(v))
 		}
@@ -336,7 +421,7 @@ func (s *Sim) logTransmit(v int32, round int) {
 // transmitters to their neighbourhoods: O(Σ deg(transmitter)) instead of
 // O(Σ deg(listener)) per round, the complement of the sparse-wakeup
 // stepping skip. Semantics are identical to resolvePull.
-func (s *Sim) resolvePush(csr *graph.CSR, round int, drop func(node, round int) bool) int {
+func (s *Sim) resolvePush(csr *graph.CSR, round int) int {
 	nx := 1 - s.cur
 	// Clear only the entries dirtied when this buffer half was last written.
 	for _, w := range s.touched[nx] {
@@ -349,7 +434,7 @@ func (s *Sim) resolvePush(csr *graph.CSR, round int, drop func(node, round int) 
 	for _, t32 := range s.txList {
 		t := int(t32)
 		s.logTransmit(t32, round)
-		if drop != nil && drop(t, round) {
+		if s.faulted && s.effects[t]&faults.Jam != 0 {
 			continue // jammed: v believes it transmitted, nobody hears it
 		}
 		for _, w := range csr.Neighbors(t) {
@@ -367,6 +452,9 @@ func (s *Sim) resolvePush(csr *graph.CSR, round int, drop func(node, round int) 
 		s.touched[nx] = append(s.touched[nx], w32)
 		if s.actions[w].Transmit {
 			continue // a transmitter hears nothing and detects no noise
+		}
+		if s.faulted && s.effects[w]&faults.Down != 0 {
+			continue // radio off: hears neither the message nor the noise
 		}
 		s.busys[nx][w] = true
 		if cnt == 1 {
@@ -391,6 +479,11 @@ func (s *Sim) resolvePull(csr *graph.CSR, v int) int {
 		s.sets[nx][v] = false
 		s.busys[nx][v] = false
 		return 1
+	}
+	if s.faulted && s.effects[v]&faults.Down != 0 {
+		s.sets[nx][v] = false
+		s.busys[nx][v] = false
+		return 0
 	}
 	count := 0
 	var sender int32 = -1

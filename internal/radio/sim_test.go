@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"radiobcast/internal/faults"
 	"radiobcast/internal/graph"
 )
 
@@ -109,8 +110,8 @@ func TestSparseMatchesDense(t *testing.T) {
 func TestSparseMatchesDenseWithFaults(t *testing.T) {
 	drop := func(node, round int) bool { return (node+round)%5 == 0 }
 	for name, g := range testGraphs(t) {
-		ref := Run(g, randomProtocols(g.N(), 3), Options{MaxRounds: 60, Drop: drop, DisableSparse: true})
-		got := Run(g, randomProtocols(g.N(), 3), Options{MaxRounds: 60, Drop: drop})
+		ref := Run(g, randomProtocols(g.N(), 3), Options{MaxRounds: 60, Faults: faults.DropFunc(drop), DisableSparse: true})
+		got := Run(g, randomProtocols(g.N(), 3), Options{MaxRounds: 60, Faults: faults.DropFunc(drop)})
 		if !resultsEqual(ref, got) {
 			t.Fatalf("%s: sparse diverged from dense under faults", name)
 		}

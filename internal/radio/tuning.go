@@ -1,6 +1,10 @@
 package radio
 
-import "context"
+import (
+	"context"
+
+	"radiobcast/internal/faults"
+)
 
 // Tuning carries the caller-adjustable engine knobs that are orthogonal to
 // a runner's scheme-specific Options (round bounds, stop predicates). The
@@ -18,8 +22,9 @@ type Tuning struct {
 	MaxRounds int
 	// Trace, when non-nil, records the run round by round.
 	Trace *Trace
-	// Drop, when non-nil, injects transmission faults (see Options.Drop).
-	Drop func(node, round int) bool
+	// Faults, when non-nil, injects faults through a model (see
+	// Options.Faults).
+	Faults faults.Model
 	// Sim, when non-nil, is the reusable engine buffers to run on (see
 	// Options.Sim).
 	Sim *Sim
@@ -46,8 +51,8 @@ func (o Options) With(t *Tuning) Options {
 	if t.Trace != nil {
 		o.Trace = t.Trace
 	}
-	if t.Drop != nil {
-		o.Drop = t.Drop
+	if t.Faults != nil {
+		o.Faults = t.Faults
 	}
 	if t.Sim != nil {
 		o.Sim = t.Sim

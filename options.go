@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"radiobcast/internal/core"
+	"radiobcast/internal/faults"
 	"radiobcast/internal/radio"
 )
 
@@ -22,9 +23,15 @@ type Config struct {
 	// Trace, when non-nil, records every round (transmissions and
 	// deliveries) for rendering or debugging.
 	Trace *Trace
-	// Drop, when non-nil, injects transmission faults: a transmission by
-	// node v in round r is jammed when Drop(v, r) is true.
+	// Drop, when non-nil, injects transmission faults through the
+	// historical hook: a transmission by node v in round r is jammed when
+	// Drop(v, r) is true. Set by WithFaults; richer adversaries use Fault.
 	Drop func(node, round int) bool
+	// Fault, when non-nil, injects faults through a declarative model
+	// description (jamming, crash–recovery, churn, duty-cycling, or a
+	// composition). Set by WithFaultSpec / FaultRate; validated and
+	// materialized when the run is prepared. Drop and Fault compose.
+	Fault *FaultSpec
 	// Quick reduces search effort for schemes that search for labelings
 	// (currently the one-bit scheme).
 	Quick bool
@@ -56,6 +63,9 @@ type Config struct {
 	// coordinatorSet records that WithCoordinator was given explicitly
 	// (node 0 is a valid coordinator, so the value alone cannot tell).
 	coordinatorSet bool
+	// faultModel is Fault materialized against the run's graph (set during
+	// preparation, consumed by tuning).
+	faultModel faults.Model
 }
 
 // Option is a functional option for Run, Label and RunLabeled.
@@ -75,8 +85,11 @@ func WithMaxRounds(n int) Option { return func(c *Config) { c.MaxRounds = n } }
 // WithTrace records the run round by round into tr.
 func WithTrace(tr *Trace) Option { return func(c *Config) { c.Trace = tr } }
 
-// WithFaults injects transmission faults: node v's transmission in round r
-// is jammed (heard by nobody) whenever drop(v, r) returns true.
+// WithFaults injects transmission faults through the historical hook:
+// node v's transmission in round r is jammed (heard by nobody) whenever
+// drop(v, r) returns true. It survives as a compatibility adapter over
+// the fault-model subsystem; declarative models (WithFaultSpec) are the
+// richer interface and the only one the sweep and the daemon speak.
 func WithFaults(drop func(node, round int) bool) Option {
 	return func(c *Config) { c.Drop = drop }
 }
@@ -134,40 +147,16 @@ func newConfig(opts []Option) *Config {
 
 // tuning converts the engine-level knobs into the overlay every internal
 // runner accepts.
+// tuning stays a single composite literal so it inlines and the Tuning
+// can live on the caller's stack (the runners do not retain it).
 func (c *Config) tuning() *radio.Tuning {
 	return &radio.Tuning{
 		Ctx:           c.ctx,
 		Workers:       c.Workers,
 		MaxRounds:     c.MaxRounds,
 		Trace:         c.Trace,
-		Drop:          c.Drop,
+		Faults:        c.faultModel,
 		Sim:           c.Sim,
 		DisableSparse: c.DenseEngine,
-	}
-}
-
-// FaultRate returns a deterministic fault model for WithFaults: each
-// (node, round) transmission is independently jammed with the given
-// probability, decided by a seeded hash, so the same (rate, seed) always
-// jams the same transmissions — sweeps and tests are reproducible without
-// sharing any random-number state across goroutines.
-func FaultRate(rate float64, seed int64) func(node, round int) bool {
-	if rate <= 0 {
-		return nil
-	}
-	if rate >= 1 {
-		return func(node, round int) bool { return true }
-	}
-	// Probability threshold in fixed point over the hash's 64-bit range.
-	threshold := uint64(rate * (1 << 63) * 2)
-	return func(node, round int) bool {
-		// splitmix64 over the packed (seed, node, round) triple.
-		x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(node)<<32 + uint64(round) + 1
-		x ^= x >> 30
-		x *= 0xbf58476d1ce4e5b9
-		x ^= x >> 27
-		x *= 0x94d049bb133111eb
-		x ^= x >> 31
-		return x < threshold
 	}
 }

@@ -3,6 +3,7 @@ package radiobcast
 import (
 	"context"
 
+	"radiobcast/internal/faults"
 	"radiobcast/internal/radio"
 )
 
@@ -132,6 +133,9 @@ func prepare(ctx context.Context, net *Network, scheme string, opts []Option) (S
 	if err := ctxErr(ctx); err != nil {
 		return nil, nil, 0, err
 	}
+	if err := cfg.materializeFaults(net.Graph); err != nil {
+		return nil, nil, 0, err
+	}
 	return s, cfg, cfg.sourceOr(net.Source), nil
 }
 
@@ -149,7 +153,31 @@ func prepareLabeled(ctx context.Context, l *Labeling, opts []Option) (Scheme, *C
 	if err := checkNode(l.Graph, source, "source"); err != nil {
 		return nil, nil, 0, err
 	}
+	if err := cfg.materializeFaults(l.Graph); err != nil {
+		return nil, nil, 0, err
+	}
 	return s, cfg, source, nil
+}
+
+// materializeFaults turns the Config's declarative fault spec into a model
+// instance bound to the run's graph and folds the historical Drop hook
+// into it. It runs during preparation so an unusable spec is an error
+// before anything executes, and builds a fresh instance per run — models
+// are stateful and must not be shared across concurrent runs. On the
+// clean path it leaves faultModel nil, so fault-free runs pay nothing.
+func (c *Config) materializeFaults(g *Graph) error {
+	if c.Fault == nil && c.Drop == nil {
+		return nil
+	}
+	var m faults.Model
+	if c.Fault != nil {
+		var err error
+		if m, err = c.Fault.materialize(g); err != nil {
+			return err
+		}
+	}
+	c.faultModel = faults.Compose(faults.DropFunc(c.Drop), m)
+	return nil
 }
 
 // resolveLabeled validates a caller-supplied labeling before running on
@@ -215,6 +243,7 @@ func finish(s Scheme, l *Labeling, source int, cfg *Config) (*Outcome, error) {
 		// its schedule for an overridden source); keep it.
 		out.Labeling = l
 	}
+	out.Coverage, out.Degraded = degradation(out)
 	if err := ctxErr(cfg.ctx); err != nil {
 		return out, err
 	}

@@ -132,6 +132,13 @@ type Outcome struct {
 	AllInformed bool
 	// CompletionRound is the largest InformedRound.
 	CompletionRound int
+	// Coverage is the delivered fraction of the network: informed nodes
+	// (source included) over all nodes, in [0, 1]. Under faults this is
+	// the graded success measure a binary AllInformed cannot express.
+	Coverage float64
+	// Degraded classifies the coverage (see Degradation): "none" for a
+	// complete broadcast down to "total" when only the source knows µ.
+	Degraded Degradation
 
 	// AckRound is the round the source received the acknowledgement
 	// (scheme "back"; 0 when absent).

@@ -34,6 +34,14 @@ type SweepSpec struct {
 	// fault-free channel; only fault-free cells are Verify-checked.
 	// Default: {0}.
 	FaultRates []float64
+	// Faults are additional fault-model points of the fault axis, one
+	// sweep column per spec (jamming budgets, crash rates, churn
+	// schedules, duty cycles, compositions). They extend FaultRates: the
+	// axis is all FaultRates entries followed by all Faults entries. Specs
+	// with Seed 0 inherit the sweep's Seed; every repeat adds its index,
+	// so repeats see distinct fault patterns. Cells on this axis are
+	// never Verify-checked — degradation is their data.
+	Faults []FaultSpec
 	// Repeats runs every (family, size, scheme, source, rate) cell this
 	// many times with distinct fault seeds (repeat i uses Seed+i), so
 	// faulty-channel results can be averaged. Default: 1.
@@ -66,16 +74,27 @@ type SweepCell struct {
 	Scheme    string
 	Source    int // resolved source node id
 	FaultRate float64
-	Repeat    int // 0-based repeat index
+	// Fault labels the cell's point on the Faults axis (the spec's model
+	// name, "#index"-suffixed when ambiguous); empty for the FaultRates
+	// axis, where FaultRate carries the point.
+	Fault  string
+	Repeat int // 0-based repeat index
+
+	// fspec is the Faults-axis spec behind Fault (nil on the rate axis).
+	fspec *FaultSpec
 }
+
+// Faulted reports whether the cell runs under a non-clean channel (either
+// fault axis); such cells are never Verify-checked.
+func (c SweepCell) Faulted() bool { return c.FaultRate > 0 || c.fspec != nil || c.Fault != "" }
 
 // CellResult is the outcome of one sweep cell.
 type CellResult struct {
 	// Cell is the grid point this result belongs to.
 	Cell SweepCell
 	// Index is the cell's position in grid order (families, then sizes,
-	// schemes, sources, fault rates, repeats — the nesting order of the
-	// spec fields). Streaming consumers receive cells in completion
+	// schemes, sources, the fault axis — FaultRates entries before Faults
+	// entries — and repeats; the nesting order of the spec fields). Streaming consumers receive cells in completion
 	// order; Index lets them re-establish grid order, as RunSweep does.
 	Index int
 	// N is the actual node count of the generated graph.
@@ -98,6 +117,9 @@ func (c SweepCell) String() string {
 	s := fmt.Sprintf("%s/n=%d/%s/src=%d", c.Family, c.Size, c.Scheme, c.Source)
 	if c.FaultRate > 0 {
 		s += fmt.Sprintf("/drop=%g", c.FaultRate)
+	}
+	if c.Fault != "" {
+		s += "/fault=" + c.Fault
 	}
 	if c.Repeat > 0 {
 		s += fmt.Sprintf("/rep=%d", c.Repeat)
@@ -147,7 +169,29 @@ func (spec *SweepSpec) normalize() error {
 			return fmt.Errorf("radiobcast: sweep: %w", unknownScheme(s))
 		}
 	}
+	for i := range spec.Faults {
+		if err := spec.Faults[i].validate(); err != nil {
+			return fmt.Errorf("radiobcast: sweep: faults[%d]: %w", i, err)
+		}
+	}
 	return nil
+}
+
+// faultLabels names the Faults-axis points: the spec's model name, with a
+// "#index" suffix when two specs would otherwise collide.
+func faultLabels(specs []FaultSpec) []string {
+	labels := make([]string, len(specs))
+	seen := make(map[string]int, len(specs))
+	for i := range specs {
+		labels[i] = specs[i].name()
+		seen[labels[i]]++
+	}
+	for i, l := range labels {
+		if seen[l] > 1 {
+			labels[i] = fmt.Sprintf("%s#%d", l, i)
+		}
+	}
+	return labels
 }
 
 // Sweep executes the spec's grid on a worker pool and streams the results
@@ -306,19 +350,26 @@ func RunSweepCtx(ctx context.Context, spec SweepSpec) ([]CellResult, error) {
 // enumerateCells lists the grid in spec nesting order with resolved
 // sources.
 func enumerateCells(spec SweepSpec, nets map[netKey]*Network) []SweepCell {
+	labels := faultLabels(spec.Faults)
 	var cells []SweepCell
 	for _, fam := range spec.Families {
 		for _, size := range spec.Sizes {
 			n := nets[netKey{fam, size}].Graph.N()
 			for _, scheme := range spec.Schemes {
 				for _, src := range spec.Sources {
-					for _, rate := range spec.FaultRates {
+					addReps := func(c SweepCell) {
+						c.Family, c.Size, c.Scheme = fam, size, scheme
+						c.Source = resolveSource(src, n)
 						for rep := 0; rep < spec.Repeats; rep++ {
-							cells = append(cells, SweepCell{
-								Family: fam, Size: size, Scheme: scheme,
-								Source: resolveSource(src, n), FaultRate: rate, Repeat: rep,
-							})
+							c.Repeat = rep
+							cells = append(cells, c)
 						}
+					}
+					for _, rate := range spec.FaultRates {
+						addReps(SweepCell{FaultRate: rate})
+					}
+					for i := range spec.Faults {
+						addReps(SweepCell{Fault: labels[i], fspec: &spec.Faults[i]})
 					}
 				}
 			}
@@ -361,8 +412,18 @@ func (s *Session) runCell(ctx context.Context, spec SweepSpec, c SweepCell, idx 
 	if spec.DenseEngine {
 		opts = append(opts, WithDenseEngine())
 	}
-	if c.FaultRate > 0 {
-		opts = append(opts, WithFaults(FaultRate(c.FaultRate, spec.Seed+int64(c.Repeat))))
+	switch {
+	case c.fspec != nil:
+		// Copy the shared spec so each cell materializes its own stateful
+		// model, with the repeat index folded into the seed.
+		fs := *c.fspec
+		if fs.Seed == 0 {
+			fs.Seed = spec.Seed
+		}
+		fs.Seed += int64(c.Repeat)
+		opts = append(opts, WithFaultSpec(fs))
+	case c.FaultRate > 0:
+		opts = append(opts, FaultRate(c.FaultRate, spec.Seed+int64(c.Repeat)))
 	}
 	out, err := RunLabeledCtx(ctx, entry.l, opts...)
 	if err != nil {
@@ -371,7 +432,7 @@ func (s *Session) runCell(ctx context.Context, spec SweepSpec, c SweepCell, idx 
 		return res
 	}
 	res.Outcome = out
-	if c.FaultRate == 0 {
+	if !c.Faulted() {
 		if err := Verify(out); err != nil {
 			res.Err = fmt.Errorf("verify %s: %w", c, err)
 		} else {

@@ -4,7 +4,9 @@
 package radiobcast_test
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 
@@ -188,41 +190,55 @@ func TestWithFaultsSuppressesDelivery(t *testing.T) {
 }
 
 // TestFaultRateDeterministic pins the seeded fault model: same (rate,
-// seed) jams the same transmissions, different seeds differ, and rate
-// bounds behave.
+// seed) jams the same transmissions, different seeds differ, and the
+// rate bounds behave — rate 0 is the clean channel, rate 1 jams every
+// transmission, NaN and negative rates are typed errors.
 func TestFaultRateDeterministic(t *testing.T) {
-	a, b := radiobcast.FaultRate(0.3, 7), radiobcast.FaultRate(0.3, 7)
-	c := radiobcast.FaultRate(0.3, 8)
-	same, diff := true, false
-	hits, total := 0, 0
-	for v := 0; v < 50; v++ {
-		for r := 1; r <= 50; r++ {
-			if a(v, r) != b(v, r) {
-				same = false
-			}
-			if a(v, r) != c(v, r) {
-				diff = true
-			}
-			if a(v, r) {
-				hits++
-			}
-			total++
-		}
+	net, err := radiobcast.Family("grid", 16)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !same {
+	run := func(opts ...radiobcast.Option) *radiobcast.Outcome {
+		t.Helper()
+		out, err := radiobcast.Run(net, "b", append(opts, radiobcast.WithMessage("m"))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := run(radiobcast.FaultRate(0.3, 7))
+	b := run(radiobcast.FaultRate(0.3, 7))
+	c := run(radiobcast.FaultRate(0.3, 8))
+	if !sameResults(a.Result, b.Result) {
 		t.Fatal("FaultRate with identical (rate, seed) disagreed with itself")
 	}
-	if !diff {
+	if sameResults(a.Result, c.Result) {
 		t.Fatal("FaultRate with different seeds never disagreed (suspicious)")
 	}
-	if frac := float64(hits) / float64(total); frac < 0.2 || frac > 0.4 {
-		t.Fatalf("rate 0.3 jammed %.2f of transmissions", frac)
+
+	clean := run(radiobcast.FaultRate(0, 1))
+	if !clean.AllInformed {
+		t.Fatal("rate 0 should be the clean channel")
 	}
-	if radiobcast.FaultRate(0, 1) != nil {
-		t.Fatal("rate 0 should disable the fault model")
+	jammedAll := run(radiobcast.FaultRate(1, 1))
+	if jammedAll.Result.TotalTransmissions == 0 {
+		t.Fatal("rate 1 silenced the senders; it should jam, not silence")
 	}
-	if all := radiobcast.FaultRate(1, 1); !all(3, 5) {
-		t.Fatal("rate 1 should jam everything")
+	for v, recs := range jammedAll.Result.Receives {
+		if len(recs) != 0 {
+			t.Fatalf("node %d received %d messages at fault rate 1", v, len(recs))
+		}
+	}
+
+	for _, bad := range []float64{-0.5, math.NaN()} {
+		_, err := radiobcast.Run(net, "b", radiobcast.FaultRate(bad, 1))
+		if !errors.Is(err, radiobcast.ErrBadFaultSpec) {
+			t.Fatalf("FaultRate(%v) error = %v, want ErrBadFaultSpec", bad, err)
+		}
+		var bfe *radiobcast.BadFaultSpecError
+		if !errors.As(err, &bfe) {
+			t.Fatalf("FaultRate(%v) error is no *BadFaultSpecError: %v", bad, err)
+		}
 	}
 }
 
@@ -301,8 +317,7 @@ func TestRunSweepMatchesIndividualRuns(t *testing.T) {
 			radiobcast.WithSource(c.Cell.Source),
 		}
 		if c.Cell.FaultRate > 0 {
-			opts = append(opts, radiobcast.WithFaults(
-				radiobcast.FaultRate(c.Cell.FaultRate, 1+int64(c.Cell.Repeat))))
+			opts = append(opts, radiobcast.FaultRate(c.Cell.FaultRate, 1+int64(c.Cell.Repeat)))
 		}
 		solo, err := radiobcast.Run(net.At(c.Cell.Source), c.Cell.Scheme, opts...)
 		if err != nil {
