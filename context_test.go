@@ -209,6 +209,10 @@ func TestRunSweepCtxPartialGridOrder(t *testing.T) {
 		Schemes:  []string{"b"},
 		Repeats:  60,
 		Workers:  2,
+		// The dense engine keeps each cell slow enough that the sweep
+		// cannot finish all 60 before the cancellation propagates; the
+		// bitset core is fast enough to beat the cancel otherwise.
+		DenseEngine: true,
 		OnCell: func(radiobcast.CellResult) {
 			if streamed.Add(1) == 5 {
 				cancel()

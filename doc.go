@@ -35,20 +35,36 @@
 // Label once and broadcast many times with LabelNetwork + RunLabeled
 // (ctx variants: LabelNetworkCtx, RunLabeledCtx; the context-free names
 // are kept as context.Background() wrappers); tune runs with functional
-// options (WithWorkers, WithMaxRounds, WithTrace, WithFaults, WithSim,
-// WithDenseEngine, WithQuick, WithSource, …); enumerate algorithms with
-// Schemes and plug in new ones with Register. RunSweep executes a whole
-// families × sizes × schemes × sources × fault-rates grid as one batched
-// job on a worker pool that shares frozen graphs and labelings across
-// cells and reuses one simulation engine (Sim) per worker.
+// options (WithWorkers, WithMaxRounds, WithTrace, WithSim,
+// WithDenseEngine, WithScalarEngine, WithQuick, WithSource, …);
+// enumerate algorithms with Schemes and plug in new ones with Register.
+//
+// Adversarial channels are declared as a FaultSpec — an i.i.d. jamming
+// rate, a budgeted (optionally greedy) jammer, crash–recovery,
+// duty-cycling, topology churn, or a composition — and injected with
+// WithFaultSpec. A faulted run is graded, not failed: Outcome.Coverage,
+// Outcome.Degraded and Outcome.RoundsToCoverage quantify partial
+// delivery. Every model is deterministic in (spec, seed) and
+// bit-identical across all engine modes.
+//
+// RunSweep executes a whole families × sizes × schemes × sources ×
+// faults × repeats grid as one batched job on a worker pool that shares
+// frozen graphs and labelings across cells; the fault axis is the
+// FaultRates entries followed by the Faults specs, each spec's seed
+// folded with the repeat index so the grid is reproducible. Cells that
+// share a graph fold automatically into lockstep batches (radio.RunBatch)
+// so the topology is read once per round for the whole batch.
 //
 // The machinery lives under internal/:
 //
 //   - internal/graph, internal/nodeset: the network substrate, with a
 //     frozen CSR form (Graph.Freeze) iterated by every hot path;
 //   - internal/radio: the synchronous radio model of §1.1 — one reusable
-//     engine with sparse-wakeup, dense and parallel modes, all
-//     bit-identical;
+//     engine whose sequential sparse mode runs on a bit-packed
+//     word-parallel core with lockstep same-graph batches (RunBatch),
+//     plus scalar, dense and parallel modes, all bit-identical;
+//   - internal/faults: the composable fault-model contract behind
+//     FaultSpec (jam/crash/duty/churn, seeded and deterministic);
 //   - internal/domset: minimal dominating subsets (§2.1 step 4);
 //   - internal/core: the stage construction, the labeling schemes λ, λack,
 //     λarb and the universal algorithms B, Back, Barb;

@@ -71,6 +71,7 @@ func TestEngineModesBitIdenticalFaulted(t *testing.T) {
 				for mode, out := range map[string]*radiobcast.Outcome{
 					"sparse":         run(),
 					"sparse-sim":     run(radiobcast.WithSim(radiobcast.NewSim())),
+					"scalar":         run(radiobcast.WithScalarEngine()),
 					"parallel":       run(radiobcast.WithWorkers(4)),
 					"dense-parallel": run(radiobcast.WithDenseEngine(), radiobcast.WithWorkers(4)),
 				} {

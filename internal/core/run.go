@@ -45,29 +45,43 @@ func RunBroadcastLabeled(g *graph.Graph, l *Labeling, source int, mu string, tra
 // (workers, round-bound override, trace, fault injection) layered onto the
 // scheme's default options. tune may be nil.
 func RunBroadcastTuned(g *graph.Graph, l *Labeling, source int, mu string, tune *radio.Tuning) (*BroadcastOutcome, error) {
+	ps, base, asm := PlanBroadcast(g, l, source, mu)
+	return asm(radio.Run(g, ps, base.With(tune))), nil
+}
+
+// PlanBroadcast splits a B execution into its three ingredients — the
+// protocol vector, the scheme's base engine options, and an assemble
+// function that turns the engine Result into the outcome — so callers can
+// hand the middle step to a different driver (radio.RunBatch folds many
+// plans over one graph into a lockstep batch). RunBroadcastTuned is
+// exactly plan → Run → assemble.
+func PlanBroadcast(g *graph.Graph, l *Labeling, source int, mu string) ([]radio.Protocol, radio.Options, func(*radio.Result) *BroadcastOutcome) {
 	n := g.N()
 	ps := NewBProtocols(l.Labels, source, mu)
-	res := radio.Run(g, ps, radio.Options{
+	base := radio.Options{
 		MaxRounds:       2*n + 4,
 		StopAfterSilent: 3,
-	}.With(tune))
-	out := &BroadcastOutcome{Result: res, Stages: l.Stages, Labels: l.Labels}
-	out.InformedRound = make([]int, n)
-	out.AllInformed = true
-	for v := 0; v < n; v++ {
-		if v == source {
-			continue
-		}
-		r := res.FirstReception(v, radio.KindData)
-		out.InformedRound[v] = r
-		if r == radio.NoReception {
-			out.AllInformed = false
-		}
-		if r > out.CompletionRound {
-			out.CompletionRound = r
-		}
 	}
-	return out, nil
+	asm := func(res *radio.Result) *BroadcastOutcome {
+		out := &BroadcastOutcome{Result: res, Stages: l.Stages, Labels: l.Labels}
+		out.InformedRound = make([]int, n)
+		out.AllInformed = true
+		for v := 0; v < n; v++ {
+			if v == source {
+				continue
+			}
+			r := res.FirstReception(v, radio.KindData)
+			out.InformedRound[v] = r
+			if r == radio.NoReception {
+				out.AllInformed = false
+			}
+			if r > out.CompletionRound {
+				out.CompletionRound = r
+			}
+		}
+		return out
+	}
+	return ps, base, asm
 }
 
 // VerifyBroadcast checks the outcome against the paper's guarantees:
@@ -126,36 +140,48 @@ func RunAcknowledgedLabeled(g *graph.Graph, l *Labeling, source int, mu string) 
 // RunAcknowledgedTuned executes Back on a pre-labeled graph with engine
 // tuning layered onto the scheme's default options. tune may be nil.
 func RunAcknowledgedTuned(g *graph.Graph, l *Labeling, source int, mu string, tune *radio.Tuning) (*AckOutcome, error) {
+	ps, base, asm := PlanAcknowledged(g, l, source, mu)
+	return asm(radio.Run(g, ps, base.With(tune))), nil
+}
+
+// PlanAcknowledged is the plan/assemble split of RunAcknowledgedTuned
+// (see PlanBroadcast). The assemble closure reads the source protocol's
+// ack state, so it must be called on the Result of running exactly the
+// returned protocol vector.
+func PlanAcknowledged(g *graph.Graph, l *Labeling, source int, mu string) ([]radio.Protocol, radio.Options, func(*radio.Result) *AckOutcome) {
 	n := g.N()
 	ps := NewBackProtocols(l.Labels, source, mu)
 	src := ps[source].(*AlgBack)
-	res := radio.Run(g, ps, radio.Options{
+	base := radio.Options{
 		MaxRounds:       3*n + 6,
 		StopAfterSilent: 3,
-	}.With(tune))
-	out := &AckOutcome{Z: l.Z}
-	out.Result = res
-	out.Stages = l.Stages
-	out.Labels = l.Labels
-	out.InformedRound = make([]int, n)
-	out.AllInformed = true
-	for v := 0; v < n; v++ {
-		if v == source {
-			continue
-		}
-		r := res.FirstReception(v, radio.KindData)
-		out.InformedRound[v] = r
-		if r == radio.NoReception {
-			out.AllInformed = false
-		}
-		if r > out.CompletionRound {
-			out.CompletionRound = r
-		}
 	}
-	if src.AckDone {
-		out.AckRound = src.AckRound
+	asm := func(res *radio.Result) *AckOutcome {
+		out := &AckOutcome{Z: l.Z}
+		out.Result = res
+		out.Stages = l.Stages
+		out.Labels = l.Labels
+		out.InformedRound = make([]int, n)
+		out.AllInformed = true
+		for v := 0; v < n; v++ {
+			if v == source {
+				continue
+			}
+			r := res.FirstReception(v, radio.KindData)
+			out.InformedRound[v] = r
+			if r == radio.NoReception {
+				out.AllInformed = false
+			}
+			if r > out.CompletionRound {
+				out.CompletionRound = r
+			}
+		}
+		if src.AckDone {
+			out.AckRound = src.AckRound
+		}
+		return out
 	}
-	return out, nil
+	return ps, base, asm
 }
 
 // VerifyAcknowledged checks Theorem 3.9 and Corollary 3.8: broadcast
@@ -265,16 +291,29 @@ func RunArbitraryLabeled(g *graph.Graph, l *Labeling, source int, mu string) (*A
 // RunArbitraryTuned runs Barb on a pre-labeled graph with engine tuning
 // layered onto the scheme's default options. tune may be nil.
 func RunArbitraryTuned(g *graph.Graph, l *Labeling, source int, mu string, tune *radio.Tuning) (*ArbOutcome, error) {
+	ps, base, asm, err := PlanArbitrary(g, l, source, mu)
+	if err != nil {
+		return nil, err
+	}
+	return asm(radio.Run(g, ps, base.With(tune))), nil
+}
+
+// PlanArbitrary is the plan/assemble split of RunArbitraryTuned (see
+// PlanBroadcast). Both the base Stop predicate and the assemble closure
+// read per-node protocol state, so the Result handed to assemble must
+// come from running exactly the returned protocol vector. Errors for
+// n < 2 (Barb needs a coordinator and at least one other node).
+func PlanArbitrary(g *graph.Graph, l *Labeling, source int, mu string) ([]radio.Protocol, radio.Options, func(*radio.Result) *ArbOutcome, error) {
 	n := g.N()
 	if n < 2 {
-		return nil, fmt.Errorf("core: Barb needs n ≥ 2")
+		return nil, radio.Options{}, nil, fmt.Errorf("core: Barb needs n ≥ 2")
 	}
 	ps := NewBarbProtocols(l.Labels, source, mu)
 	nodes := make([]*AlgBarb, n)
 	for v := range ps {
 		nodes[v] = ps[v].(*AlgBarb)
 	}
-	res := radio.Run(g, ps, radio.Options{
+	base := radio.Options{
 		MaxRounds: 14*n + 40,
 		Stop: func(round int) bool {
 			for _, nd := range nodes {
@@ -284,25 +323,28 @@ func RunArbitraryTuned(g *graph.Graph, l *Labeling, source int, mu string, tune 
 			}
 			return true
 		},
-	}.With(tune))
-	out := &ArbOutcome{
-		Result: res, Labels: l.Labels, R: l.R, Source: source,
-		MuKnownRound:       make([]int, n),
-		KnowsCompleteRound: make([]int, n),
-		AllKnowMu:          true,
-		TotalRounds:        res.Rounds,
 	}
-	for v, nd := range nodes {
-		if got, ok := nd.Mu(); !ok || got != mu {
-			out.AllKnowMu = false
+	asm := func(res *radio.Result) *ArbOutcome {
+		out := &ArbOutcome{
+			Result: res, Labels: l.Labels, R: l.R, Source: source,
+			MuKnownRound:       make([]int, n),
+			KnowsCompleteRound: make([]int, n),
+			AllKnowMu:          true,
+			TotalRounds:        res.Rounds,
 		}
-		out.MuKnownRound[v] = nd.MuKnownRound
-		out.KnowsCompleteRound[v] = nd.KnowsCompleteRound
-		if t, ok := nd.TValue(); ok && t > out.T {
-			out.T = t
+		for v, nd := range nodes {
+			if got, ok := nd.Mu(); !ok || got != mu {
+				out.AllKnowMu = false
+			}
+			out.MuKnownRound[v] = nd.MuKnownRound
+			out.KnowsCompleteRound[v] = nd.KnowsCompleteRound
+			if t, ok := nd.TValue(); ok && t > out.T {
+				out.T = t
+			}
 		}
+		return out
 	}
-	return out, nil
+	return ps, base, asm, nil
 }
 
 // VerifyArbitrary checks Barb's guarantees: every node learned µ with the

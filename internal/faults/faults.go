@@ -181,6 +181,18 @@ func Compose(models ...Model) Model {
 	case 1:
 		return ms[0]
 	}
+	// A composition of WordModels keeps the vectorized fast path; one
+	// member without it drops the whole composition to the scalar path.
+	allWords := true
+	for _, m := range ms {
+		if _, ok := m.(WordModel); !ok {
+			allWords = false
+			break
+		}
+	}
+	if allWords {
+		return &wordComposite{composite{models: ms}}
+	}
 	return &composite{models: ms}
 }
 

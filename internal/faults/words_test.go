@@ -1,0 +1,137 @@
+// Differential tests of the vectorized WordModel path: for every model
+// that implements it, ApplyWords must set exactly the bits Apply sets —
+// round by round, phase by phase, with stateful models (crash timers)
+// evolving identically on both paths.
+package faults
+
+import (
+	"testing"
+
+	"radiobcast/internal/graph"
+)
+
+// wordCases enumerates every WordModel constructor with configurations
+// that exercise both phases and all three effect bits. The budgeted
+// jammer is deliberately absent: its candidate-order sensitivity is why
+// it does not implement WordModel.
+func wordCases() map[string]func() Model {
+	drop := func(node, round int) bool { return (node+round)%3 == 0 }
+	return map[string]func() Model{
+		"drop":         func() Model { return DropFunc(drop) },
+		"rate":         func() Model { return NewRate(0.4, 11) },
+		"rate-certain": func() Model { return NewRate(1, 11) },
+		"crash-retain": func() Model { return NewCrash(CrashConfig{Rate: 0.15, Down: 3, Seed: 11}) },
+		"crash-lose":   func() Model { return NewCrash(CrashConfig{Rate: 0.15, Down: 2, Lose: true, Seed: 11}) },
+		"crash-window": func() Model { return NewCrash(CrashConfig{Rate: 0.3, Down: 4, From: 5, To: 9, Seed: 11}) },
+		"duty-aligned": func() Model { return NewDutyCycle(DutyConfig{Period: 4, On: 2}) },
+		"duty-phased":  func() Model { return NewDutyCycle(DutyConfig{Period: 5, On: 3, Seed: 11}) },
+		"compose": func() Model {
+			return Compose(
+				NewRate(0.3, 7),
+				NewCrash(CrashConfig{Rate: 0.1, Down: 2, Seed: 9}),
+				NewDutyCycle(DutyConfig{Period: 3, On: 2, Seed: 4}),
+			)
+		},
+	}
+}
+
+// packWords converts an Apply-produced effects slice to the bit-packed
+// form, independently of the engine's own packer.
+func packWords(effects []Effect, w *Words) {
+	for v, e := range effects {
+		if e&Jam != 0 {
+			w.SetJam(v)
+		}
+		if e&Down != 0 {
+			w.SetDown(v)
+		}
+		if e&Wipe != 0 {
+			w.SetWipe(v)
+		}
+	}
+}
+
+// TestApplyWordsMatchesApply runs each WordModel twice over the same
+// 20-round schedule — one instance through Apply, one through
+// ApplyWords — and compares the packed effect vectors bit for bit. Only
+// the first n bits are compared: duty's aligned fast path fills whole
+// words, and tail bits past n are out of contract.
+func TestApplyWordsMatchesApply(t *testing.T) {
+	const n = 70 // more than one 64-bit word, with a ragged tail
+	g := graph.New(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(v, v+1)
+	}
+	csr := g.Freeze()
+	for name, mk := range wordCases() {
+		t.Run(name, func(t *testing.T) {
+			scalar := mk()
+			vector, ok := mk().(WordModel)
+			if !ok {
+				t.Fatalf("%s does not implement WordModel", name)
+			}
+			scalar.Reset(n)
+			vector.(Model).Reset(n)
+
+			heard := make([]bool, n)
+			words := (n + 63) / 64
+			mask := make([]uint64, words)
+			for i := range mask {
+				mask[i] = ^uint64(0)
+			}
+			if r := uint(n % 64); r != 0 {
+				mask[words-1] = (1 << r) - 1
+			}
+			for round := 1; round <= 20; round++ {
+				// A varying transmitter set: every node whose index shares a
+				// residue with the round, so jams move across words.
+				var tx []int32
+				for v := 0; v < n; v++ {
+					if (v+round)%4 == 0 {
+						tx = append(tx, int32(v))
+					}
+				}
+				effects := make([]Effect, n)
+				want := Words{Jam: make([]uint64, words), Down: make([]uint64, words), Wipe: make([]uint64, words)}
+				got := Words{Jam: make([]uint64, words), Down: make([]uint64, words), Wipe: make([]uint64, words)}
+
+				pre := State{Round: round, CSR: csr, Heard: heard}
+				post := State{Round: round, CSR: csr, Heard: heard, Transmitters: tx}
+				scalar.Apply(&pre, effects)
+				scalar.Apply(&post, effects)
+				packWords(effects, &want)
+				vector.ApplyWords(&pre, &got)
+				vector.ApplyWords(&post, &got)
+
+				for i := 0; i < words; i++ {
+					if (want.Jam[i]^got.Jam[i])&mask[i] != 0 ||
+						(want.Down[i]^got.Down[i])&mask[i] != 0 ||
+						(want.Wipe[i]^got.Wipe[i])&mask[i] != 0 {
+						t.Fatalf("round %d word %d: Apply {%x %x %x} vs ApplyWords {%x %x %x}",
+							round, i, want.Jam[i], want.Down[i], want.Wipe[i],
+							got.Jam[i], got.Down[i], got.Wipe[i])
+					}
+				}
+				// Advance the informed frontier so Heard-sensitive models see
+				// changing state.
+				for _, v := range tx {
+					heard[v] = true
+				}
+			}
+		})
+	}
+}
+
+// TestComposeKeepsWordPath pins the Compose promotion rule: a composite
+// of WordModels is itself a WordModel, and mixing in one scalar-only
+// model demotes the whole composition to the scalar path.
+func TestComposeKeepsWordPath(t *testing.T) {
+	allWords := Compose(NewRate(0.5, 1), NewDutyCycle(DutyConfig{Period: 3, On: 2}))
+	if _, ok := allWords.(WordModel); !ok {
+		t.Fatal("composite of WordModels lost the vectorized path")
+	}
+	mixed := Compose(NewRate(0.5, 1), NewJam(JamConfig{Budget: 4, Seed: 1}))
+	if _, ok := mixed.(WordModel); ok {
+		t.Fatal("composite containing the budgeted jammer must not claim WordModel")
+	}
+}

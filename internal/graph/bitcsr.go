@@ -1,0 +1,79 @@
+package graph
+
+// BitCSR is the word-parallel companion of a CSR: each node's sorted
+// adjacency list is regrouped into neighborhood slabs — (word, mask)
+// pairs where word indexes a 64-node block of the node space and mask
+// has one bit set per neighbour inside that block. A transmitter's
+// neighbourhood is then ORed into per-word channel accumulators in
+// O(slabs) word operations instead of O(degree) per-node writes, which
+// is what lets the bitset engine resolve collisions without touching
+// individual listeners (see internal/radio).
+//
+// Consecutive neighbours sharing a 64-block share one slab, so for the
+// sparse families (paths, grids, trees, sparse G(n,p)) the slab count is
+// close to the degree, while for locally dense graphs (cliques, dense
+// neighbourhoods) it approaches degree/64.
+type BitCSR struct {
+	// Off has n+1 entries; node v's slabs are Words[Off[v]:Off[v+1]]
+	// paired with Masks[Off[v]:Off[v+1]].
+	Off []int32
+	// Words holds the 64-node block index of each slab, strictly
+	// ascending within a node.
+	Words []int32
+	// Masks holds the neighbour bits of each slab.
+	Masks []uint64
+}
+
+// Slabs returns node v's neighborhood slabs as parallel word/mask views.
+// The slices are owned by the BitCSR and must not be modified.
+func (b *BitCSR) Slabs(v int) ([]int32, []uint64) {
+	lo, hi := b.Off[v], b.Off[v+1]
+	return b.Words[lo:hi], b.Masks[lo:hi]
+}
+
+// Bits returns the slab form of the CSR, building it on first use and
+// caching it on the CSR. Unlike Freeze, the cache is safe for concurrent
+// use: a frozen graph shared across goroutines (the sweep pool, the
+// serving daemon) may have the slab form built lazily from inside
+// concurrent runs. Two racing builders do redundant work; both end up
+// with the same immutable winner.
+func (c *CSR) Bits() *BitCSR {
+	if b := c.bits.Load(); b != nil {
+		return b
+	}
+	n := c.N()
+	b := &BitCSR{Off: make([]int32, n+1)}
+	// First pass: count slabs so Words/Masks allocate exactly once.
+	slabs := 0
+	for v := 0; v < n; v++ {
+		prev := int32(-1)
+		for _, w := range c.Neighbors(v) {
+			if blk := w >> 6; blk != prev {
+				slabs++
+				prev = blk
+			}
+		}
+	}
+	b.Words = make([]int32, 0, slabs)
+	b.Masks = make([]uint64, 0, slabs)
+	for v := 0; v < n; v++ {
+		b.Off[v] = int32(len(b.Words))
+		prev := int32(-1)
+		for _, w := range c.Neighbors(v) {
+			blk := w >> 6
+			bit := uint64(1) << (uint(w) & 63)
+			if blk == prev {
+				b.Masks[len(b.Masks)-1] |= bit
+			} else {
+				b.Words = append(b.Words, blk)
+				b.Masks = append(b.Masks, bit)
+				prev = blk
+			}
+		}
+	}
+	b.Off[n] = int32(len(b.Words))
+	if !c.bits.CompareAndSwap(nil, b) {
+		return c.bits.Load() // a racing builder won; adopt its (identical) result
+	}
+	return b
+}

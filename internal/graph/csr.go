@@ -1,5 +1,7 @@
 package graph
 
+import "sync/atomic"
+
 // CSR is the frozen compressed-sparse-row form of a Graph: the adjacency
 // of node v is Targets[Offsets[v]:Offsets[v+1]], in ascending order. The
 // two flat int32 arrays replace the pointer-chased [][]int adjacency on
@@ -14,6 +16,13 @@ type CSR struct {
 	Offsets []int32
 	// Targets concatenates all adjacency lists (2m entries).
 	Targets []int32
+
+	// bits is the lazily built slab form (see Bits); FreezeInto
+	// invalidates it when the CSR is rebuilt in place. Unlike the Freeze
+	// cache it is atomic: pre-frozen graphs are routinely shared across
+	// goroutines (sweep pools, the serving daemon), and the bitset engine
+	// builds the slab form lazily inside those concurrent runs.
+	bits atomic.Pointer[BitCSR]
 }
 
 // Freeze returns the CSR form of g, building it on first use and caching
@@ -47,6 +56,7 @@ func (g *Graph) Freeze() *CSR {
 // Freeze it neither reads nor populates the graph's CSR cache: dst is
 // owned by the caller, and later graph mutations do not invalidate it.
 func (g *Graph) FreezeInto(dst *CSR) {
+	dst.bits.Store(nil) // the slab cache describes the old topology
 	if cap(dst.Offsets) < g.n+1 {
 		dst.Offsets = make([]int32, g.n+1)
 	}

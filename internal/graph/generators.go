@@ -214,8 +214,15 @@ func RandomTree(n int, seed int64) *Graph {
 
 // GNPConnected returns a connected Erdős–Rényi-style graph: a random tree
 // (guaranteeing connectivity) plus each remaining pair independently with
-// probability p. Deterministic in seed.
+// probability p. Deterministic in seed. At streamGNPThreshold nodes and
+// above, construction switches to the O(m) streaming sampler that emits
+// the CSR directly (see StreamGNPConnected) — same distribution and seed
+// determinism, different random sequence — so million-node members of the
+// gnp families are constructible without the quadratic pair loop.
 func GNPConnected(n int, p float64, seed int64) *Graph {
+	if n >= streamGNPThreshold && p < 1 {
+		return StreamGNPConnected(n, p, seed)
+	}
 	r := rand.New(rand.NewSource(seed))
 	g := New(n)
 	for i := 1; i < n; i++ {

@@ -53,6 +53,7 @@ func (g *Graph) check(v int) {
 func (g *Graph) AddEdge(u, v int) {
 	g.check(u)
 	g.check(v)
+	g.ensureAdj()
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop at %d", u))
 	}
@@ -72,6 +73,7 @@ func (g *Graph) AddEdge(u, v int) {
 func (g *Graph) RemoveEdge(u, v int) {
 	g.check(u)
 	g.check(v)
+	g.ensureAdj()
 	if u == v || !g.HasEdge(u, v) {
 		return
 	}
@@ -103,6 +105,7 @@ func (g *Graph) insert(u, v int) {
 func (g *Graph) HasEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
+	g.ensureAdj()
 	a := g.adj[u]
 	i := sort.SearchInts(a, v)
 	return i < len(a) && a[i] == v
@@ -112,17 +115,20 @@ func (g *Graph) HasEdge(u, v int) bool {
 // slice is owned by the graph and must not be modified.
 func (g *Graph) Neighbors(v int) []int {
 	g.check(v)
+	g.ensureAdj()
 	return g.adj[v]
 }
 
 // Degree returns the degree of v.
 func (g *Graph) Degree(v int) int {
 	g.check(v)
+	g.ensureAdj()
 	return len(g.adj[v])
 }
 
 // MaxDegree returns Δ(G), or 0 for an edgeless graph.
 func (g *Graph) MaxDegree() int {
+	g.ensureAdj()
 	d := 0
 	for v := 0; v < g.n; v++ {
 		if len(g.adj[v]) > d {
@@ -134,6 +140,7 @@ func (g *Graph) MaxDegree() int {
 
 // Edges returns all edges as ordered pairs (u < v), sorted lexicographically.
 func (g *Graph) Edges() [][2]int {
+	g.ensureAdj()
 	out := make([][2]int, 0, g.m)
 	for u := 0; u < g.n; u++ {
 		for _, v := range g.adj[u] {
@@ -147,6 +154,7 @@ func (g *Graph) Edges() [][2]int {
 
 // Clone returns a deep copy.
 func (g *Graph) Clone() *Graph {
+	g.ensureAdj()
 	c := New(g.n)
 	c.m = g.m
 	for v := 0; v < g.n; v++ {
@@ -159,6 +167,7 @@ func (g *Graph) Clone() *Graph {
 // they are owned by the graph and must not be modified.
 func (g *Graph) NeighborSet(v int) *nodeset.Set {
 	g.check(v)
+	g.ensureAdj()
 	if g.sets == nil {
 		g.sets = make([]*nodeset.Set, g.n)
 	}
@@ -189,6 +198,7 @@ func (g *Graph) Neighborhood(x *nodeset.Set) *nodeset.Set {
 // adjacency). It returns nil for graphs built through AddEdge and exists to
 // guard graphs constructed by external decoders.
 func (g *Graph) Validate() error {
+	g.ensureAdj()
 	count := 0
 	for u := 0; u < g.n; u++ {
 		a := g.adj[u]

@@ -234,7 +234,7 @@ func TestFreezeInto(t *testing.T) {
 	g.FreezeInto(&dst)
 	want := g.Freeze()
 	if !reflect.DeepEqual(dst.Offsets, want.Offsets) || !reflect.DeepEqual(dst.Targets, want.Targets) {
-		t.Fatalf("FreezeInto = %+v, Freeze = %+v", dst, want)
+		t.Fatalf("FreezeInto = {%v %v}, Freeze = {%v %v}", dst.Offsets, dst.Targets, want.Offsets, want.Targets)
 	}
 	// FreezeInto does not touch the graph's cache: the cached CSR keeps
 	// its identity and its contents across an into-freeze.

@@ -1,0 +1,73 @@
+package radio
+
+import (
+	"testing"
+
+	"radiobcast/internal/faults"
+)
+
+// TestRunBatchMatchesRun pins the lockstep batch driver: every lane of a
+// mixed batch — different protocol populations, round bounds, stop
+// conditions, fault models, and option combinations that fall back to a
+// standalone run — yields a Result bit-identical to a standalone Run
+// with the same inputs.
+func TestRunBatchMatchesRun(t *testing.T) {
+	drop := func(node, round int) bool { return (node+round)%5 == 0 }
+	for name, g := range testGraphs(t) {
+		n := g.N()
+		mk := func() []BatchRun {
+			return []BatchRun{
+				{Protos: randomProtocols(n, 1), Opt: Options{MaxRounds: 60}},
+				{Protos: randomProtocols(n, 2), Opt: Options{MaxRounds: 25}},
+				{Protos: randomProtocols(n, 3), Opt: Options{MaxRounds: 60, Faults: faults.DropFunc(drop)}},
+				{Protos: randomProtocols(n, 4), Opt: Options{MaxRounds: 60, StopAfterSilent: 3}},
+				{Protos: randomProtocols(n, 5), Opt: Options{MaxRounds: 60, Sim: NewSim()}},
+				{Protos: randomProtocols(n, 6), Opt: Options{MaxRounds: 60, Workers: 4}},          // ineligible: parallel
+				{Protos: randomProtocols(n, 7), Opt: Options{MaxRounds: 60, DisableSparse: true}}, // ineligible: dense
+				{Protos: randomProtocols(n, 8), Opt: Options{MaxRounds: 60, DisableBitset: true}}, // ineligible: scalar
+			}
+		}
+		batch := RunBatch(g, mk())
+		for i, solo := range mk() {
+			want := Run(g, solo.Protos, solo.Opt)
+			if !resultsEqual(want, batch[i]) {
+				t.Fatalf("%s: lane %d diverged from standalone Run", name, i)
+			}
+		}
+	}
+}
+
+// TestRunBatchEmpty: a zero-lane batch is a no-op, not a panic.
+func TestRunBatchEmpty(t *testing.T) {
+	if got := RunBatch(testGraphs(t)["path"], nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// BenchmarkRunBatch measures the lockstep win: 8 same-graph runs as one
+// batch versus 8 standalone runs (the label-once/run-many regime the
+// sweep folds into batches).
+func BenchmarkRunBatch(b *testing.B) {
+	const lanes = 8
+	g := testGraphs(b)["grid"]
+	n := g.N()
+	mk := func() []BatchRun {
+		runs := make([]BatchRun, lanes)
+		for i := range runs {
+			runs[i] = BatchRun{Protos: randomProtocols(n, int64(i+1)), Opt: Options{MaxRounds: 60}}
+		}
+		return runs
+	}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RunBatch(g, mk())
+		}
+	})
+	b.Run("solo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range mk() {
+				Run(g, r.Protos, r.Opt)
+			}
+		}
+	})
+}

@@ -64,6 +64,12 @@ type Options struct {
 	// bit-identical either way; this knob exists for differential tests
 	// and benchmarking the sparse-wakeup fast path.
 	DisableSparse bool
+
+	// DisableBitset forces the scalar sequential engine where the bitset
+	// engine would otherwise run (sequential sparse runs without a
+	// Trace). Results are bit-identical either way; the knob exists for
+	// differential tests and for measuring what the bitset core buys.
+	DisableBitset bool
 }
 
 // Reception records one successful message delivery.

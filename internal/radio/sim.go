@@ -100,6 +100,11 @@ type Sim struct {
 	rxRecs   []Reception
 
 	maxBits int
+
+	// bits holds the word-packed state of the bitset engine core, built
+	// lazily on the first bitset-eligible run and reused like every other
+	// buffer (see bitsim.go). Scalar and parallel runs never touch it.
+	bits *bitState
 }
 
 // NewSim returns an empty Sim ready for its first Run.
@@ -162,42 +167,27 @@ func (s *Sim) reset(n, workers int, protos []Protocol) {
 // package level for the semantics; this is the same engine with explicit
 // buffer ownership).
 func (s *Sim) Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
-	n := g.N()
-	if len(protos) != n {
-		panic(fmt.Sprintf("radio: %d protocols for %d nodes", len(protos), n))
-	}
-	if opt.MaxRounds <= 0 {
-		panic("radio: Options.MaxRounds must be positive")
-	}
-	workers := opt.Workers
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	csr := g.Freeze()
-	s.reset(n, workers, protos)
+	n, workers, csr := s.prepareRun(g, protos, opt)
 
 	fm := opt.Faults
-	s.faulted = fm != nil
-	var topo faults.TopologyModel
-	// fst escapes through the Apply interface calls; allocate it only on
-	// faulted runs so the clean path stays allocation-free.
-	var fst *faults.State
-	if s.faulted {
-		s.effects = grow(s.effects, n)
-		s.heard = grow(s.heard, n)
-		if s.txList == nil {
-			s.txList = []int32{} // keep non-nil: nil signals the pre-step phase
-		}
-		fm.Reset(n)
-		topo, _ = fm.(faults.TopologyModel)
-		fst = &faults.State{}
-	}
+	topo, fst := s.setupFaults(fm, n)
 
 	sparse := !opt.DisableSparse
 	push := sparse && workers <= 1 // push-based channel resolution
+
+	// Sequential sparse runs without a Trace go through the bitset core
+	// (bit-identical, word-parallel; see bitsim.go). Tracing needs the
+	// per-round action vector the bitset core does not maintain for
+	// skipped nodes, and mid-run topology swaps would invalidate the slab
+	// cache, so both fall back to the scalar loop below.
+	if push && opt.Trace == nil && !opt.DisableBitset && topo == nil {
+		var lane bitLane
+		lane.init(s, csr, opt, fm, fst)
+		for !lane.done {
+			lane.runRound(lane.rounds + 1)
+		}
+		return lane.finish()
+	}
 
 	silent := 0
 	rounds := 0
@@ -343,6 +333,49 @@ func (s *Sim) Run(g *graph.Graph, protos []Protocol, opt Options) *Result {
 	res.Interrupted = interrupted
 	s.release()
 	return res
+}
+
+// prepareRun validates a (graph, protocols, options) triple, sizes the
+// engine buffers, and freezes the graph — the shared prologue of Run and
+// of each lockstep lane set up by RunBatch.
+func (s *Sim) prepareRun(g *graph.Graph, protos []Protocol, opt Options) (n, workers int, csr *graph.CSR) {
+	n = g.N()
+	if len(protos) != n {
+		panic(fmt.Sprintf("radio: %d protocols for %d nodes", len(protos), n))
+	}
+	if opt.MaxRounds <= 0 {
+		panic("radio: Options.MaxRounds must be positive")
+	}
+	workers = opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	csr = g.Freeze()
+	s.reset(n, workers, protos)
+	return n, workers, csr
+}
+
+// setupFaults primes the per-run fault-injection state and returns the
+// model's optional topology extension plus the reusable State snapshot
+// (nil, nil on clean runs — fst escapes through the Apply interface
+// calls, so it is allocated only when a model is installed and the clean
+// path stays allocation-free).
+func (s *Sim) setupFaults(fm faults.Model, n int) (faults.TopologyModel, *faults.State) {
+	s.faulted = fm != nil
+	if !s.faulted {
+		return nil, nil
+	}
+	s.effects = grow(s.effects, n)
+	s.heard = grow(s.heard, n)
+	if s.txList == nil {
+		s.txList = []int32{} // keep non-nil: nil signals the pre-step phase
+	}
+	fm.Reset(n)
+	topo, _ := fm.(faults.TopologyModel)
+	return topo, &faults.State{}
 }
 
 // release drops every reference the buffers hold into caller objects

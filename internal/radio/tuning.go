@@ -31,6 +31,9 @@ type Tuning struct {
 	// DisableSparse forces the dense reference engine (see
 	// Options.DisableSparse).
 	DisableSparse bool
+	// DisableBitset forces the scalar sequential engine (see
+	// Options.DisableBitset).
+	DisableBitset bool
 }
 
 // With returns o with the non-zero fields of t layered on top. A nil t
@@ -59,6 +62,9 @@ func (o Options) With(t *Tuning) Options {
 	}
 	if t.DisableSparse {
 		o.DisableSparse = true
+	}
+	if t.DisableBitset {
+		o.DisableBitset = true
 	}
 	return o
 }

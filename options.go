@@ -53,6 +53,11 @@ type Config struct {
 	// every round, ignoring sparse-wakeup hints. Results are bit-identical
 	// either way; the knob exists for differential tests and benchmarks.
 	DenseEngine bool
+	// ScalarEngine forces the scalar sequential engine where the
+	// word-parallel bitset core would otherwise run. Results are
+	// bit-identical either way; the knob exists for differential tests
+	// and benchmarks.
+	ScalarEngine bool
 
 	// ctx is the run's context, set by the *Ctx entry points and checked
 	// by the engine between rounds; nil means "never cancelled".
@@ -133,6 +138,12 @@ func WithSim(s *Sim) Option { return func(c *Config) { c.Sim = s } }
 // for measuring what the fast path buys.
 func WithDenseEngine() Option { return func(c *Config) { c.DenseEngine = true } }
 
+// WithScalarEngine disables the word-parallel bitset core, forcing the
+// scalar sequential engine on runs that would otherwise use it. Outcomes
+// are bit-identical with or without it; it exists for differential
+// testing and for measuring what the bitset core buys.
+func WithScalarEngine() Option { return func(c *Config) { c.ScalarEngine = true } }
+
 // WithBuild sets the options of the §2.1 stage construction (λ-family
 // schemes); mainly for ablations.
 func WithBuild(b core.BuildOptions) Option { return func(c *Config) { c.Build = b } }
@@ -158,5 +169,6 @@ func (c *Config) tuning() *radio.Tuning {
 		Faults:        c.faultModel,
 		Sim:           c.Sim,
 		DisableSparse: c.DenseEngine,
+		DisableBitset: c.ScalarEngine,
 	}
 }

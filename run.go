@@ -225,15 +225,22 @@ func (c *Config) sourceOr(fallback int) int {
 	return fallback
 }
 
-// finish runs the scheme and fills the outcome fields common to all
-// schemes, so adapters only populate what is specific to them. When the
-// run was cut short by the Config's context, the partial outcome is
-// returned together with the ctx error.
+// finish runs the scheme and decorates the outcome.
 func finish(s Scheme, l *Labeling, source int, cfg *Config) (*Outcome, error) {
 	out, err := s.Run(l, source, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return decorate(out, s, l, source, cfg)
+}
+
+// decorate fills the outcome fields common to all schemes, so adapters
+// only populate what is specific to them. It is the post-run half of
+// finish, split out so the sweep's batch folding — which obtains the raw
+// Outcome through a scheme's plan/assemble seam instead of Run — applies
+// the same finishing touches. When the run was cut short by the Config's
+// context, the partial outcome is returned together with the ctx error.
+func decorate(out *Outcome, s Scheme, l *Labeling, source int, cfg *Config) (*Outcome, error) {
 	out.Scheme = s.Name()
 	out.Graph = l.Graph
 	out.Source = source

@@ -4,12 +4,24 @@ import (
 	"fmt"
 
 	"radiobcast/internal/core"
+	"radiobcast/internal/radio"
 )
 
 func init() {
 	Register(bScheme{})
 	Register(backScheme{})
 	Register(barbScheme{})
+}
+
+// batchScheme is the seam the sweep's batch folding needs: a scheme that
+// can split a run into (protocols, fully-tuned engine options, assemble)
+// so that the middle step — the engine run itself — can be handed to
+// radio.RunBatch together with other runs over the same graph. Each Run
+// method of the λ-family schemes is exactly plan → radio.Run → assemble,
+// so a folded cell is bit-identical to a standalone one by construction.
+type batchScheme interface {
+	Scheme
+	plan(l *Labeling, source int, cfg *Config) (ps []radio.Protocol, base radio.Options, assemble func(*radio.Result) (*Outcome, error), err error)
 }
 
 // bScheme adapts the paper's 2-bit scheme λ with universal algorithm B
@@ -33,21 +45,30 @@ func (bScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, error)
 	return core.NewBProtocols(l.Labels, source, mu), nil
 }
 
-func (bScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
-	if err := l.checkLabels(); err != nil {
-		return nil, err
-	}
-	out, err := core.RunBroadcastTuned(l.Graph, l.coreLabeling(), source, cfg.Mu, cfg.tuning())
+func (s bScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	ps, base, assemble, err := s.plan(l, source, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{
-		Result:          out.Result,
-		InformedRound:   out.InformedRound,
-		AllInformed:     out.AllInformed,
-		CompletionRound: out.CompletionRound,
-		inner:           out,
-	}, nil
+	return assemble(radio.Run(l.Graph, ps, base))
+}
+
+func (bScheme) plan(l *Labeling, source int, cfg *Config) ([]radio.Protocol, radio.Options, func(*radio.Result) (*Outcome, error), error) {
+	if err := l.checkLabels(); err != nil {
+		return nil, radio.Options{}, nil, err
+	}
+	ps, base, asm := core.PlanBroadcast(l.Graph, l.coreLabeling(), source, cfg.Mu)
+	assemble := func(res *radio.Result) (*Outcome, error) {
+		out := asm(res)
+		return &Outcome{
+			Result:          out.Result,
+			InformedRound:   out.InformedRound,
+			AllInformed:     out.AllInformed,
+			CompletionRound: out.CompletionRound,
+			inner:           out,
+		}, nil
+	}
+	return ps, base.With(cfg.tuning()), assemble, nil
 }
 
 func (bScheme) Verify(out *Outcome) error {
@@ -79,22 +100,31 @@ func (backScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, err
 	return core.NewBackProtocols(l.Labels, source, mu), nil
 }
 
-func (backScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
-	if err := l.checkLabels(); err != nil {
-		return nil, err
-	}
-	out, err := core.RunAcknowledgedTuned(l.Graph, l.coreLabeling(), source, cfg.Mu, cfg.tuning())
+func (s backScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	ps, base, assemble, err := s.plan(l, source, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{
-		Result:          out.Result,
-		InformedRound:   out.InformedRound,
-		AllInformed:     out.AllInformed,
-		CompletionRound: out.CompletionRound,
-		AckRound:        out.AckRound,
-		inner:           out,
-	}, nil
+	return assemble(radio.Run(l.Graph, ps, base))
+}
+
+func (backScheme) plan(l *Labeling, source int, cfg *Config) ([]radio.Protocol, radio.Options, func(*radio.Result) (*Outcome, error), error) {
+	if err := l.checkLabels(); err != nil {
+		return nil, radio.Options{}, nil, err
+	}
+	ps, base, asm := core.PlanAcknowledged(l.Graph, l.coreLabeling(), source, cfg.Mu)
+	assemble := func(res *radio.Result) (*Outcome, error) {
+		out := asm(res)
+		return &Outcome{
+			Result:          out.Result,
+			InformedRound:   out.InformedRound,
+			AllInformed:     out.AllInformed,
+			CompletionRound: out.CompletionRound,
+			AckRound:        out.AckRound,
+			inner:           out,
+		}, nil
+	}
+	return ps, base.With(cfg.tuning()), assemble, nil
 }
 
 func (backScheme) Verify(out *Outcome) error {
@@ -127,30 +157,42 @@ func (barbScheme) Protocols(l *Labeling, source int, mu string) ([]Protocol, err
 	return core.NewBarbProtocols(l.Labels, source, mu), nil
 }
 
-func (barbScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
-	if err := l.checkLabels(); err != nil {
-		return nil, err
-	}
-	out, err := core.RunArbitraryTuned(l.Graph, l.coreLabeling(), source, cfg.Mu, cfg.tuning())
+func (s barbScheme) Run(l *Labeling, source int, cfg *Config) (*Outcome, error) {
+	ps, base, assemble, err := s.plan(l, source, cfg)
 	if err != nil {
 		return nil, err
 	}
-	completion := 0
-	for _, r := range out.MuKnownRound {
-		if r > completion {
-			completion = r
-		}
+	return assemble(radio.Run(l.Graph, ps, base))
+}
+
+func (barbScheme) plan(l *Labeling, source int, cfg *Config) ([]radio.Protocol, radio.Options, func(*radio.Result) (*Outcome, error), error) {
+	if err := l.checkLabels(); err != nil {
+		return nil, radio.Options{}, nil, err
 	}
-	return &Outcome{
-		Result:             out.Result,
-		InformedRound:      out.MuKnownRound,
-		AllInformed:        out.AllKnowMu,
-		CompletionRound:    completion,
-		KnowsCompleteRound: out.KnowsCompleteRound,
-		TotalRounds:        out.TotalRounds,
-		T:                  out.T,
-		inner:              out,
-	}, nil
+	ps, base, asm, err := core.PlanArbitrary(l.Graph, l.coreLabeling(), source, cfg.Mu)
+	if err != nil {
+		return nil, radio.Options{}, nil, err
+	}
+	assemble := func(res *radio.Result) (*Outcome, error) {
+		out := asm(res)
+		completion := 0
+		for _, r := range out.MuKnownRound {
+			if r > completion {
+				completion = r
+			}
+		}
+		return &Outcome{
+			Result:             out.Result,
+			InformedRound:      out.MuKnownRound,
+			AllInformed:        out.AllKnowMu,
+			CompletionRound:    completion,
+			KnowsCompleteRound: out.KnowsCompleteRound,
+			TotalRounds:        out.TotalRounds,
+			T:                  out.T,
+			inner:              out,
+		}, nil
+	}
+	return ps, base.With(cfg.tuning()), assemble, nil
 }
 
 func (barbScheme) Verify(out *Outcome) error {
