@@ -9,6 +9,7 @@
 package radiobcast_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -68,6 +69,32 @@ func BenchmarkLabeling(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkSessionCacheMiss measures a Session's cold-path label request:
+// cache lookup, single-flight registration, λ construction, and LRU
+// insert. A fresh Session per iteration keeps every request a miss, so
+// this is the end-to-end cost a daemon pays for a first-seen
+// (graph, source, scheme) key; contrast with the warm path, which is a
+// fingerprint lookup.
+func BenchmarkSessionCacheMiss(b *testing.B) {
+	for _, fam := range []string{"path", "grid"} {
+		net := benchNet(b, fam, 1024)
+		net.Graph.Freeze()
+		net.Graph.Fingerprint()
+		b.Run(fmt.Sprintf("%s/n=1024", fam), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sess := radiobcast.NewSession()
+				if _, err := sess.Label(context.Background(), net, "b"); err != nil {
+					b.Fatal(err)
+				}
+				if st := sess.Stats(); st.Misses != 1 {
+					b.Fatalf("stats = %+v, want exactly one miss", st)
+				}
+			}
+		})
 	}
 }
 

@@ -13,6 +13,14 @@
 //	labeler -family grid -n 64 -scheme back -save grid.labels
 //	labeler -load grid.labels                    # inspect a shipped labeling
 //
+// With -sources, the monitor labels one graph for many designated sources
+// in a single invocation, fanning the independent (graph, source)
+// labelings across -workers goroutines through a shared Session (so
+// duplicate sources coalesce instead of recomputing):
+//
+//	labeler -family grid -n 64 -scheme b -sources 0,7,42
+//	labeler -family path -n 1024 -scheme back -sources all -save path.labels
+//
 // Usage:
 //
 //	labeler -family grid -n 25 -scheme b -stages
@@ -25,10 +33,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"radiobcast"
 	"radiobcast/internal/cliutil"
 	"radiobcast/internal/graph"
+	"radiobcast/internal/sweep"
 )
 
 func main() {
@@ -38,6 +50,8 @@ func main() {
 		file     = flag.String("graph", "", "read graph from edge-list file")
 		scheme   = flag.String("scheme", "b", "registered scheme name (see -schemes)")
 		source   = flag.Int("source", -1, "designated source (default: the network's)")
+		sources  = flag.String("sources", "", "label for many sources: comma-separated node list, or \"all\"")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "labeling workers for -sources")
 		r        = flag.Int("r", 0, "coordinator for barb")
 		stages   = flag.Bool("stages", false, "print the stage decomposition")
 		dot      = flag.String("dot", "", "write Graphviz DOT to file")
@@ -93,6 +107,12 @@ func main() {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
+		}
+		if *sources != "" {
+			if err := labelMany(ctx, net, *scheme, *sources, *workers, *save); err != nil {
+				fail(err)
+			}
+			return
 		}
 		l, err = radiobcast.LabelNetworkCtx(ctx, net, *scheme)
 		if err != nil {
@@ -159,6 +179,103 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *dot)
 	}
+}
+
+// labelMany fans independent (graph, source) labelings across workers
+// through one shared Session. Each source's labeling is summarized on its
+// own line (in source order); with -save, each is written to
+// <save>.s<source> in the wire format. Duplicate sources in the list are
+// served by the Session cache — or coalesced onto the in-flight
+// computation when workers race — rather than recomputed.
+func labelMany(ctx context.Context, net *radiobcast.Network, scheme, list string, workers int, savePrefix string) error {
+	srcs, err := parseSources(list, net.Graph.N())
+	if err != nil {
+		return err
+	}
+	// Shared across workers: freeze and fingerprint once up front so the
+	// graph's lazy caches are read-only from here on.
+	net.Graph.Freeze()
+	net.Graph.Fingerprint()
+	sess := radiobcast.NewSession()
+	defer sess.Close(nil)
+
+	type result struct {
+		src int
+		l   *radiobcast.Labeling
+	}
+	results, err := sweep.MapErr(srcs, sweep.Workers(len(srcs), workers), func(src int) (result, error) {
+		one := radiobcast.NewNetwork(net.Graph).At(src)
+		one.Name = net.Name
+		one.Coordinated(net.Coordinator)
+		l, err := sess.Label(ctx, one, scheme)
+		if err != nil {
+			return result{}, fmt.Errorf("source %d: %w", src, err)
+		}
+		if savePrefix != "" {
+			path := fmt.Sprintf("%s.s%d", savePrefix, src)
+			f, err := os.Create(path)
+			if err != nil {
+				return result{}, err
+			}
+			if err := radiobcast.WriteLabeling(f, l); err != nil {
+				f.Close()
+				return result{}, err
+			}
+			if err := f.Close(); err != nil {
+				return result{}, err
+			}
+		}
+		return result{src: src, l: l}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %v; scheme %s, %d sources, %d workers\n",
+		net, scheme, len(srcs), sweep.Workers(len(srcs), workers))
+	for _, r := range results {
+		line := fmt.Sprintf("source %4d: length %d bits, %d distinct labels", r.src, r.l.Bits(), r.l.Distinct())
+		if r.l.Stages != nil {
+			line += fmt.Sprintf(", ℓ = %d", r.l.Stages.L)
+		}
+		if savePrefix != "" {
+			line += fmt.Sprintf("  → %s.s%d", savePrefix, r.src)
+		}
+		fmt.Println(line)
+	}
+	st := sess.Stats()
+	fmt.Printf("session: %d computed, %d cache hits, %d coalesced\n", st.Misses, st.Hits, st.Coalesced)
+	return nil
+}
+
+// parseSources expands the -sources flag: "all" means every node, else a
+// comma-separated node list.
+func parseSources(list string, n int) ([]int, error) {
+	if list == "all" {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("-sources: %q is not a node index", part)
+		}
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("-sources: node %d out of range [0,%d)", v, n)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sources: empty list")
+	}
+	return out, nil
 }
 
 func fail(err error) {

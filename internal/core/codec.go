@@ -10,26 +10,34 @@ import (
 // StageSets extracts the per-stage DOM_i and NEW_i node lists of the
 // construction, in stage order. Together with the graph and the source
 // they determine the whole structure: INF/UNINF/FRONTIER follow from the
-// recurrence of §2.1, so a serialized labeling only needs to carry these
-// two lists per stage (see RebuildStages).
+// recurrence of §2.1 — this is exactly the delta representation Stages
+// itself stores, so the extraction is a plain copy (see RebuildStages).
 func (s *Stages) StageSets() (doms, news [][]int) {
-	doms = make([][]int, len(s.ByIndex))
-	news = make([][]int, len(s.ByIndex))
-	for i, st := range s.ByIndex {
-		doms[i] = st.Dom.Elements()
-		news[i] = st.New.Elements()
+	doms = make([][]int, len(s.doms))
+	news = make([][]int, len(s.news))
+	for i := range s.doms {
+		doms[i] = int32ToIntList(s.doms[i])
+		news[i] = int32ToIntList(s.news[i])
 	}
 	return doms, news
 }
 
-// RebuildStages reconstructs the full §2.1 stage structure from its
-// serialized core: the graph, the source, ℓ, and the per-stage DOM/NEW
-// lists produced by StageSets. INF/UNINF/FRONTIER are replayed through
-// the same recurrence BuildStages uses — INF_{i+1} = INF_i ∪ NEW_i,
-// FRONTIER_{i+1} = (FRONTIER_i ∪ Γ(NEW_i)) ∩ UNINF_{i+1} — so the result
-// is set-for-set equal to the original construction. Node lists are
-// validated against the graph's node range; out-of-range entries are an
-// error, never a panic (inputs may come from an untrusted wire format).
+func int32ToIntList(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// RebuildStages reconstructs the §2.1 stage structure from its serialized
+// core: the graph, the source, ℓ, and the per-stage DOM/NEW lists produced
+// by StageSets. Since Stages stores exactly these deltas — INF/UNINF/
+// FRONTIER are replayed on demand through the same recurrence BuildStages
+// obeys — rebuilding is validation plus normalization: node lists are
+// checked against the graph's node range (an error, never a panic; inputs
+// may come from an untrusted wire format) and stored sorted and
+// duplicate-free, the invariant every delta consumer assumes.
 func RebuildStages(g *graph.Graph, source, l int, restricted bool, stalled int, doms, news [][]int) (*Stages, error) {
 	n := g.N()
 	if source < 0 || source >= n {
@@ -41,7 +49,7 @@ func RebuildStages(g *graph.Graph, source, l int, restricted bool, stalled int, 
 	if len(doms) == 0 {
 		return nil, fmt.Errorf("core: rebuild: no stages")
 	}
-	toSet := func(elems []int) (*nodeset.Set, error) {
+	toList := func(elems []int) ([]int32, error) {
 		set := nodeset.New(n)
 		for _, v := range elems {
 			if v < 0 || v >= n {
@@ -49,37 +57,20 @@ func RebuildStages(g *graph.Graph, source, l int, restricted bool, stalled int, 
 			}
 			set.Add(v)
 		}
-		return set, nil
+		return setToInt32(set), nil
 	}
 
 	st := &Stages{G: g, Source: source, L: l, Restricted: restricted, Stalled: stalled}
-	inf := nodeset.Of(n, source)
-	uninf := nodeset.Full(n)
-	uninf.Remove(source)
-	frontier := nodeset.New(n)
-	for _, w := range g.Neighbors(source) {
-		frontier.Add(w)
-	}
+	st.doms = make([][]int32, len(doms))
+	st.news = make([][]int32, len(news))
 	for i := range doms {
-		if i > 0 {
-			prevNew := st.ByIndex[i-1].New
-			inf = nodeset.Union(inf, prevNew)
-			uninf = nodeset.Subtract(uninf, prevNew)
-			frontier = nodeset.Intersect(frontier, uninf)
-			frontier.UnionWith(nodeset.Intersect(g.Neighborhood(prevNew), uninf))
-		}
-		dom, err := toSet(doms[i])
-		if err != nil {
+		var err error
+		if st.doms[i], err = toList(doms[i]); err != nil {
 			return nil, err
 		}
-		newSet, err := toSet(news[i])
-		if err != nil {
+		if st.news[i], err = toList(news[i]); err != nil {
 			return nil, err
 		}
-		st.ByIndex = append(st.ByIndex, Stage{
-			Inf: inf.Clone(), Uninf: uninf.Clone(), Frontier: frontier.Clone(),
-			Dom: dom, New: newSet,
-		})
 	}
 	return st, nil
 }

@@ -27,8 +27,30 @@ func ParseLabel(s string) (Label, error) {
 	return Label(s), nil
 }
 
+// labelTable interns every label of up to 3 bits, indexed by length then
+// by bit value (most significant first) — all the labels the paper's
+// schemes assign. MakeLabel runs once per node per labeling, so handing
+// out interned constants instead of building strings removes an
+// allocation from the hottest per-node step of label derivation.
+var labelTable = [4][]Label{
+	{""},
+	{"0", "1"},
+	{"00", "01", "10", "11"},
+	{"000", "001", "010", "011", "100", "101", "110", "111"},
+}
+
 // MakeLabel builds a label from bits (true = '1'), most significant first.
 func MakeLabel(bits ...bool) Label {
+	if len(bits) < len(labelTable) {
+		v := 0
+		for _, bit := range bits {
+			v <<= 1
+			if bit {
+				v |= 1
+			}
+		}
+		return labelTable[len(bits)][v]
+	}
 	var b strings.Builder
 	for _, bit := range bits {
 		if bit {

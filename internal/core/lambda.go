@@ -33,36 +33,50 @@ func Lambda(g *graph.Graph, source int, opt BuildOptions) (*Labeling, error) {
 	return labelsFromStages(st)
 }
 
+// labelsFromStages derives λ from the stage deltas. For each i and each
+// v ∈ DOM_{i+1} ∩ DOM_i, it picks one w ∈ NEW_i adjacent to v and sets
+// x2(w) = 1 (§2.2) — the smallest-index such w, found word-parallel as
+// the first set bit of slabs(v) ∩ NEW_i. Lemma 2.4's minimality argument
+// guarantees one exists, and because every NEW_i node has exactly one
+// DOM_i neighbour, picks for distinct v never interfere (each v hears
+// exactly one "stay"). DOM_i ∩ DOM_{i+1} is a merge of the two sorted
+// delta lists and NEW_i is materialized as bit words only while stage i
+// is in hand, so the whole pass is O(Σ_i |DOM_i| + |NEW_i| + slab reads)
+// — no per-stage full-set snapshots anywhere.
 func labelsFromStages(st *Stages) (*Labeling, error) {
 	g := st.G
 	n := g.N()
+	bcsr := g.Freeze().Bits()
 	x1 := st.DomUnion()
 	x2 := make([]bool, n)
 	stayPick := make([]int, n)
 
-	// For each i and each v ∈ DOM_{i+1} ∩ DOM_i, pick one w ∈ NEW_i adjacent
-	// to v and set x2(w) = 1 (§2.2). We pick the smallest-index private
-	// neighbour; Lemma 2.4's minimality argument guarantees one exists, and
-	// because every NEW_i node has exactly one DOM_i neighbour, picks for
-	// distinct v never interfere (each v hears exactly one "stay").
+	newW := make([]uint64, (n+63)/64)
 	for i := 1; i+1 <= st.NumStored(); i++ {
-		cur := st.Stage(i)
-		next := st.Stage(i + 1)
-		var pickErr error
-		cur.Dom.ForEach(func(v int) {
-			if pickErr != nil || !next.Dom.Has(v) {
-				return
+		curDom, nextDom, curNew := st.doms[i-1], st.doms[i], st.news[i-1]
+		for _, w := range curNew {
+			newW[w>>6] |= 1 << (uint(w) & 63)
+		}
+		for ai, bi := 0, 0; ai < len(curDom) && bi < len(nextDom); {
+			switch {
+			case curDom[ai] < nextDom[bi]:
+				ai++
+			case curDom[ai] > nextDom[bi]:
+				bi++
+			default:
+				v := int(curDom[ai])
+				w := bcsr.FirstIn(v, newW)
+				if w == -1 {
+					return nil, fmt.Errorf("core: no NEW_%d neighbour for %d ∈ DOM_%d ∩ DOM_%d", i, v, i, i+1)
+				}
+				x2[w] = true
+				stayPick[w] = i
+				ai++
+				bi++
 			}
-			w := pickStaySender(g, cur, v)
-			if w == -1 {
-				pickErr = fmt.Errorf("core: no NEW_%d neighbour for %d ∈ DOM_%d ∩ DOM_%d", i, v, i, i+1)
-				return
-			}
-			x2[w] = true
-			stayPick[w] = i
-		})
-		if pickErr != nil {
-			return nil, pickErr
+		}
+		for _, w := range curNew {
+			newW[w>>6] &^= 1 << (uint(w) & 63)
 		}
 	}
 
@@ -73,20 +87,6 @@ func labelsFromStages(st *Stages) (*Labeling, error) {
 	return &Labeling{Labels: labels, Stages: st, StayPick: stayPick, Z: -1, R: -1}, nil
 }
 
-// pickStaySender returns the smallest w ∈ NEW_i adjacent to v whose unique
-// DOM_i neighbour is v, or -1 if none exists.
-func pickStaySender(g *graph.Graph, stage Stage, v int) int {
-	for _, w := range g.Freeze().Neighbors(v) {
-		if !stage.New.Has(int(w)) {
-			continue
-		}
-		// w ∈ NEW_i has exactly one DOM_i neighbour; if w is adjacent to v,
-		// that neighbour is v.
-		return int(w)
-	}
-	return -1
-}
-
 // VerifyLambda checks the structural properties the correctness proof of
 // algorithm B relies on (beyond the stage invariants):
 //
@@ -95,33 +95,45 @@ func pickStaySender(g *graph.Graph, stage Stage, v int) int {
 //     x2 = 1 (so v's "stay" reception in round 2i never collides);
 //   - every node with x2 = 1 was picked for exactly one stage.
 func VerifyLambda(l *Labeling) error {
-	g := l.Stages.G
-	domUnion := l.Stages.DomUnion()
+	st := l.Stages
+	g := st.G
+	n := g.N()
+	// One freeze for the whole verification (the old per-pick re-entry of
+	// g.Freeze inside the stage loops is gone).
+	bcsr := g.Freeze().Bits()
+	domUnion := st.DomUnion()
 	for v, lab := range l.Labels {
 		if lab.X1() != domUnion.Has(v) {
 			return fmt.Errorf("core: x1(%d)=%v but DOM-membership=%v", v, lab.X1(), domUnion.Has(v))
 		}
 	}
-	for i := 1; i+1 <= l.Stages.NumStored(); i++ {
-		cur := l.Stages.Stage(i)
-		next := l.Stages.Stage(i + 1)
-		var err error
-		cur.Dom.ForEach(func(v int) {
-			if err != nil || !next.Dom.Has(v) {
-				return
+	// newX2W holds the x2 = 1 subset of NEW_i as bit words, so the
+	// sender count per v is a popcount over slabs(v) ∩ newX2W.
+	newX2W := make([]uint64, (n+63)/64)
+	for i := 1; i+1 <= st.NumStored(); i++ {
+		curDom, nextDom, curNew := st.doms[i-1], st.doms[i], st.news[i-1]
+		for _, w := range curNew {
+			if l.Labels[w].X2() {
+				newX2W[w>>6] |= 1 << (uint(w) & 63)
 			}
-			count := 0
-			for _, w := range g.Neighbors(v) {
-				if cur.New.Has(w) && l.Labels[w].X2() {
-					count++
+		}
+		for ai, bi := 0, 0; ai < len(curDom) && bi < len(nextDom); {
+			switch {
+			case curDom[ai] < nextDom[bi]:
+				ai++
+			case curDom[ai] > nextDom[bi]:
+				bi++
+			default:
+				v := int(curDom[ai])
+				if count := bcsr.CountIn(v, newX2W); count != 1 {
+					return fmt.Errorf("core: v=%d ∈ DOM_%d ∩ DOM_%d has %d x2-senders in NEW_%d, want 1", v, i, i+1, count, i)
 				}
+				ai++
+				bi++
 			}
-			if count != 1 {
-				err = fmt.Errorf("core: v=%d ∈ DOM_%d ∩ DOM_%d has %d x2-senders in NEW_%d, want 1", v, i, i+1, count, i)
-			}
-		})
-		if err != nil {
-			return err
+		}
+		for _, w := range curNew {
+			newX2W[w>>6] &^= 1 << (uint(w) & 63)
 		}
 	}
 	for w, lab := range l.Labels {
@@ -132,10 +144,11 @@ func VerifyLambda(l *Labeling) error {
 			return fmt.Errorf("core: x2(%d)=0 but node was picked at stage %d", w, l.StayPick[w])
 		}
 	}
-	// Minimality of every DOM_i (the progress engine).
-	for i := 1; i <= l.Stages.NumStored(); i++ {
-		stage := l.Stages.Stage(i)
-		if i >= 2 && !domset.IsMinimal(g, stage.Dom, stage.Frontier) {
+	// Minimality of every DOM_i (the progress engine); Stage(i) replays
+	// the frontier sets sequentially from the deltas.
+	for i := 2; i <= st.NumStored(); i++ {
+		stage := st.Stage(i)
+		if !domset.IsMinimal(g, stage.Dom, stage.Frontier) {
 			return fmt.Errorf("core: DOM_%d not minimal", i)
 		}
 	}

@@ -30,7 +30,11 @@ func extendToAck(l *Labeling) error {
 	n := st.G.N()
 	z := -1
 	if st.L >= 2 {
-		z = st.Stage(st.NumStored()).New.Min()
+		// NEW_{ℓ−1} is stored ascending, so its first element is the
+		// smallest — no stage materialization needed.
+		if last := st.news[st.NumStored()-1]; len(last) > 0 {
+			z = int(last[0])
+		}
 		if z == -1 {
 			return fmt.Errorf("core: NEW_{ℓ-1} empty, cannot choose z")
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"radiobcast/internal/domset"
 	"radiobcast/internal/graph"
@@ -24,14 +25,24 @@ type Stage struct {
 }
 
 // Stages is the full construction for a (graph, source) pair.
+//
+// Storage is delta-compressed: only the DOM_i and NEW_i node lists are
+// kept — the representation the wire codec already proved sufficient,
+// since INF/UNINF/FRONTIER follow deterministically from the recurrence
+// INF_{i+1} = INF_i ∪ NEW_i, FRONTIER_{i+1} = (FRONTIER_i ∖ NEW_i) ∪
+// (Γ(NEW_i) ∩ UNINF_{i+1}). That replaces the former five-full-sets-per-
+// stage snapshots, Θ(n·ℓ) = Θ(n²) bits on deep (path-like) families,
+// with Θ(n + Σ_i |DOM_i| + |NEW_i|) words, which is O(n + m) overall —
+// the change that makes million-node labelings storable. Stage(i)
+// materializes the five sets on demand by replaying the recurrence
+// through a cached forward cursor, so sequential consumers (λ
+// verification, invariant checks, stage dumps) pay O(deltas) per step.
 type Stages struct {
 	G      *graph.Graph
 	Source int
-	// ByIndex[i-1] is stage i; stages run 1..L.
-	ByIndex []Stage
-	// L is ℓ: the smallest i with INF_i = V(G). The last entry of ByIndex
-	// is stage L−1 when L > 1 (stage L has INF = V and is not stored;
-	// DOM_L/NEW_L are empty by construction).
+	// L is ℓ: the smallest i with INF_i = V(G). Stages 1..ℓ−1 are stored
+	// when ℓ > 1 (stage ℓ has INF = V and is not stored; DOM_ℓ/NEW_ℓ are
+	// empty by construction).
 	L int
 	// Restricted reports whether the construction used the conclusion's
 	// restricted recursion DOM_i ⊆ DOM_{i−1} (see BuildOptions).
@@ -40,6 +51,23 @@ type Stages struct {
 	// continue (0 when the construction completed). Only a restricted
 	// construction can stall; the standard one always progresses (Lemma 2.5).
 	Stalled int
+
+	// doms[i-1] and news[i-1] are the DOM_i / NEW_i node lists, ascending
+	// and duplicate-free — the entire stored state of the construction.
+	doms, news [][]int32
+
+	// mu guards cur so Stage(i) is safe for concurrent readers (the
+	// Session shares cached labelings across requests).
+	mu  sync.Mutex
+	cur stageCursor
+}
+
+// stageCursor is the replay state for Stage(i): the three derived sets at
+// stage idx. Forward access advances by one NEW delta; backward access
+// restarts from stage 1.
+type stageCursor struct {
+	idx                  int // stage currently materialized; 0 = unset
+	inf, uninf, frontier *nodeset.Set
 }
 
 // BuildOptions tunes the construction.
@@ -57,142 +85,107 @@ type BuildOptions struct {
 	// demonstrate that minimality is load-bearing: NEW_i can become empty
 	// while FRONTIER_i is not (breaking Lemma 2.4). Used by ablations only.
 	SkipMinimality bool
+	// Scalar forces the node-at-a-time reference builder instead of the
+	// word-parallel kernel. The two are pinned bit-identical by the
+	// differential tests; Scalar keeps the reference selectable for those
+	// tests and for bisecting a suspected kernel bug. Restricted and
+	// SkipMinimality imply the scalar path (the ablations are not hot).
+	Scalar bool
 }
 
 // BuildStages runs the construction of §2.1 and returns the stage sets.
 // It returns an error only in the deliberately broken modes (Restricted or
 // SkipMinimality) when progress stops; the standard construction always
-// completes on connected graphs.
+// completes on connected graphs. The standard mode runs the word-parallel
+// kernel (stages_bitset.go); ablation modes and opt.Scalar run the scalar
+// reference (stages_scalar.go). Both emit identical DOM/NEW lists.
 func BuildStages(g *graph.Graph, source int, opt BuildOptions) (*Stages, error) {
-	n := g.N()
-	if source < 0 || source >= n {
+	if n := g.N(); source < 0 || source >= n {
 		panic(fmt.Sprintf("core: source %d out of range [0,%d)", source, n))
 	}
-	st := &Stages{G: g, Source: source, Restricted: opt.Restricted}
-	csr := g.Freeze()
-
-	inf := nodeset.Of(n, source)
-	uninf := nodeset.Full(n)
-	uninf.Remove(source)
-	frontier := nodeset.New(n)
-	for _, w := range csr.Neighbors(source) {
-		frontier.Add(int(w))
+	if opt.Scalar || opt.Restricted || opt.SkipMinimality {
+		return buildStagesScalar(g, source, opt)
 	}
-	dom := nodeset.Of(n, source)
-	newSet := frontier.Clone()
-
-	st.ByIndex = append(st.ByIndex, Stage{
-		Inf: inf.Clone(), Uninf: uninf.Clone(), Frontier: frontier.Clone(),
-		Dom: dom.Clone(), New: newSet.Clone(),
-	})
-	if inf.Count()+newSet.Count() == n && n == 1 {
-		st.L = 1
-		return st, nil
-	}
-
-	for i := 2; ; i++ {
-		prevDom, prevNew := dom, newSet
-		inf = nodeset.Union(inf, prevNew)
-		if inf.Count() == n {
-			st.L = i
-			return st, nil
-		}
-		uninf = nodeset.Subtract(uninf, prevNew)
-		// FRONTIER_i = UNINF_i ∩ Γ(INF_i), computed incrementally:
-		// previous frontier survivors plus uninformed neighbours of NEW_{i−1}.
-		frontier = nodeset.Intersect(frontier, uninf)
-		frontier.UnionWith(nodeset.Intersect(g.Neighborhood(prevNew), uninf))
-
-		candidates := prevDom.Clone()
-		if !opt.Restricted {
-			candidates.UnionWith(prevNew)
-		}
-		if opt.SkipMinimality {
-			dom = restrictToUseful(g, candidates, frontier)
-			if !domset.Dominates(g, dom, frontier) {
-				st.Stalled = i
-				return st, fmt.Errorf("core: stage %d: candidates do not dominate frontier (skip-minimality mode)", i)
-			}
-		} else {
-			var err error
-			dom, err = domset.MinimalSubset(g, candidates, frontier, opt.Order)
-			if err != nil {
-				st.Stalled = i
-				return st, fmt.Errorf("core: stage %d: %v (restricted=%v)", i, err, opt.Restricted)
-			}
-		}
-
-		newSet = exactlyOneNeighbor(g, frontier, dom)
-		st.ByIndex = append(st.ByIndex, Stage{
-			Inf: inf.Clone(), Uninf: uninf.Clone(), Frontier: frontier.Clone(),
-			Dom: dom.Clone(), New: newSet.Clone(),
-		})
-		if newSet.Empty() {
-			// Lemma 2.4 guarantees this never happens in the standard
-			// construction; it does happen with SkipMinimality.
-			st.Stalled = i
-			return st, fmt.Errorf("core: stage %d: no progress (NEW empty, frontier %v)", i, frontier)
-		}
-		if i > n {
-			st.Stalled = i
-			return st, fmt.Errorf("core: stage count exceeded n=%d (Lemma 2.6 violated)", n)
-		}
-	}
-}
-
-// restrictToUseful keeps candidates with at least one frontier neighbour.
-func restrictToUseful(g *graph.Graph, candidates, frontier *nodeset.Set) *nodeset.Set {
-	csr := g.Freeze()
-	kept := nodeset.New(g.N())
-	candidates.ForEach(func(c int) {
-		for _, w := range csr.Neighbors(c) {
-			if frontier.Has(int(w)) {
-				kept.Add(c)
-				return
-			}
-		}
-	})
-	return kept
-}
-
-// exactlyOneNeighbor returns the frontier nodes with exactly one neighbour
-// in dom (the definition of NEW_i).
-func exactlyOneNeighbor(g *graph.Graph, frontier, dom *nodeset.Set) *nodeset.Set {
-	csr := g.Freeze()
-	out := nodeset.New(g.N())
-	frontier.ForEach(func(v int) {
-		count := 0
-		for _, w := range csr.Neighbors(v) {
-			if dom.Has(int(w)) {
-				count++
-				if count > 1 {
-					return
-				}
-			}
-		}
-		if count == 1 {
-			out.Add(v)
-		}
-	})
-	return out
+	return buildStagesBitset(g, source, opt)
 }
 
 // Stage returns stage i (1-based). Panics if out of range.
+//
+// The five sets are materialized from the DOM/NEW deltas: Dom and New
+// directly from the stored lists, Inf/Uninf/Frontier by replaying the
+// recurrence on a cursor cached inside the Stages. Sequential ascending
+// access — the pattern of every consumer in this repository — costs
+// O(|NEW_{i−1}| + deg(NEW_{i−1})) per step plus the O(n) clone of the
+// returned sets; jumping backward restarts the replay from stage 1. The
+// returned sets are private copies; mutating them does not affect s.
 func (s *Stages) Stage(i int) Stage {
-	if i < 1 || i > len(s.ByIndex) {
-		panic(fmt.Sprintf("core: stage %d out of range [1,%d]", i, len(s.ByIndex)))
+	if i < 1 || i > len(s.doms) {
+		panic(fmt.Sprintf("core: stage %d out of range [1,%d]", i, len(s.doms)))
 	}
-	return s.ByIndex[i-1]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur.idx == 0 || s.cur.idx > i {
+		s.resetCursor()
+	}
+	for s.cur.idx < i {
+		s.advanceCursor()
+	}
+	n := s.G.N()
+	return Stage{
+		Inf:      s.cur.inf.Clone(),
+		Uninf:    s.cur.uninf.Clone(),
+		Frontier: s.cur.frontier.Clone(),
+		Dom:      nodeset.OfInt32(n, s.doms[i-1]),
+		New:      nodeset.OfInt32(n, s.news[i-1]),
+	}
+}
+
+// resetCursor rewinds the replay to stage 1: INF = {source}, FRONTIER =
+// Γ(source).
+func (s *Stages) resetCursor() {
+	n := s.G.N()
+	s.cur.idx = 1
+	s.cur.inf = nodeset.Of(n, s.Source)
+	s.cur.uninf = nodeset.Full(n)
+	s.cur.uninf.Remove(s.Source)
+	s.cur.frontier = nodeset.New(n)
+	for _, w := range s.G.Freeze().Neighbors(s.Source) {
+		s.cur.frontier.Add(int(w))
+	}
+}
+
+// advanceCursor steps the replay one stage using the NEW delta. Because
+// NEW_i ⊆ FRONTIER_i ⊆ UNINF_i, the frontier survivors FRONTIER_i ∩
+// UNINF_{i+1} are exactly FRONTIER_i ∖ NEW_i, so the whole step touches
+// only NEW_i and its neighbourhoods.
+func (s *Stages) advanceCursor() {
+	csr := s.G.Freeze()
+	prevNew := s.news[s.cur.idx-1]
+	for _, v := range prevNew {
+		s.cur.inf.Add(int(v))
+		s.cur.uninf.Remove(int(v))
+		s.cur.frontier.Remove(int(v))
+	}
+	for _, v := range prevNew {
+		for _, w := range csr.Neighbors(int(v)) {
+			if s.cur.uninf.Has(int(w)) {
+				s.cur.frontier.Add(int(w))
+			}
+		}
+	}
+	s.cur.idx++
 }
 
 // NumStored returns the number of stored stages (ℓ−1 for ℓ > 1, else 1).
-func (s *Stages) NumStored() int { return len(s.ByIndex) }
+func (s *Stages) NumStored() int { return len(s.doms) }
 
 // DomUnion returns the union of all DOM_i (the x1 = 1 nodes).
 func (s *Stages) DomUnion() *nodeset.Set {
 	u := nodeset.New(s.G.N())
-	for _, stage := range s.ByIndex {
-		u.UnionWith(stage.Dom)
+	for _, dom := range s.doms {
+		for _, v := range dom {
+			u.Add(int(v))
+		}
 	}
 	return u
 }
@@ -202,8 +195,10 @@ func (s *Stages) DomUnion() *nodeset.Set {
 // (2i−1) in which the node is informed.
 func (s *Stages) InformedStage() []int {
 	out := make([]int, s.G.N())
-	for i, stage := range s.ByIndex {
-		stage.New.ForEach(func(v int) { out[v] = i + 1 })
+	for i, list := range s.news {
+		for _, v := range list {
+			out[v] = i + 1
+		}
 	}
 	return out
 }
@@ -219,50 +214,55 @@ func (s *Stages) InformedStage() []int {
 //	(step 4):   DOM_i ⊆ DOM_{i−1} ∪ NEW_{i−1}, minimal, dominates FRONTIER_i
 //	Lemma 2.6:  ℓ ≤ n
 //	Cor. 2.7:   NEW_1 … NEW_{ℓ−1} partition V ∖ {source}
+//
+// Since the stages are stored as DOM/NEW deltas, the check also exercises
+// the replay cursor behind Stage(i) against the independently accumulated
+// Fact 2.2 sets.
 func CheckStageInvariants(s *Stages) error {
 	n := s.G.N()
 	if s.L > n {
 		return fmt.Errorf("Lemma 2.6 violated: ℓ=%d > n=%d", s.L, n)
 	}
 	accNew := nodeset.New(n)
-	for i, stage := range s.ByIndex {
-		idx := i + 1
+	var prev Stage
+	for i := 1; i <= s.NumStored(); i++ {
+		stage := s.Stage(i)
 		if !stage.New.SubsetOf(stage.Frontier) || !stage.Frontier.SubsetOf(stage.Uninf) {
-			return fmt.Errorf("Fact 2.1 violated at stage %d", idx)
+			return fmt.Errorf("Fact 2.1 violated at stage %d", i)
 		}
 		wantInf := nodeset.Of(n, s.Source).UnionWith(accNew)
 		if !stage.Inf.Equal(wantInf) {
-			return fmt.Errorf("Fact 2.2 violated at stage %d: INF=%v want %v", idx, stage.Inf, wantInf)
+			return fmt.Errorf("Fact 2.2 violated at stage %d: INF=%v want %v", i, stage.Inf, wantInf)
 		}
 		wantUninf := nodeset.Subtract(nodeset.Full(n), wantInf)
 		if !stage.Uninf.Equal(wantUninf) {
-			return fmt.Errorf("Fact 2.2 violated at stage %d: UNINF=%v want %v", idx, stage.Uninf, wantUninf)
+			return fmt.Errorf("Fact 2.2 violated at stage %d: UNINF=%v want %v", i, stage.Uninf, wantUninf)
 		}
 		if !accNew.Disjoint(stage.New) {
-			return fmt.Errorf("Lemma 2.3 violated at stage %d: NEW sets intersect", idx)
+			return fmt.Errorf("Lemma 2.3 violated at stage %d: NEW sets intersect", i)
 		}
 		if stage.Inf.Count() < n && stage.New.Empty() && s.Stalled == 0 {
-			return fmt.Errorf("Lemma 2.4 violated at stage %d: no progress", idx)
+			return fmt.Errorf("Lemma 2.4 violated at stage %d: no progress", i)
 		}
-		if idx >= 2 {
-			prev := s.ByIndex[i-1]
+		if i >= 2 {
 			candidates := nodeset.Union(prev.Dom, prev.New)
 			if s.Restricted {
 				candidates = prev.Dom.Clone()
 			}
 			if !stage.Dom.SubsetOf(candidates) {
-				return fmt.Errorf("DOM_%d not a subset of DOM_%d ∪ NEW_%d", idx, idx-1, idx-1)
+				return fmt.Errorf("DOM_%d not a subset of DOM_%d ∪ NEW_%d", i, i-1, i-1)
 			}
 			if !domset.IsMinimal(s.G, stage.Dom, stage.Frontier) {
-				return fmt.Errorf("DOM_%d not a minimal dominating set of FRONTIER_%d", idx, idx)
+				return fmt.Errorf("DOM_%d not a minimal dominating set of FRONTIER_%d", i, i)
 			}
 		}
 		// NEW_i definition check.
 		want := exactlyOneNeighbor(s.G, stage.Frontier, stage.Dom)
 		if !stage.New.Equal(want) {
-			return fmt.Errorf("NEW_%d ≠ exactly-one-DOM-neighbour set", idx)
+			return fmt.Errorf("NEW_%d ≠ exactly-one-DOM-neighbour set", i)
 		}
 		accNew.UnionWith(stage.New)
+		prev = stage
 	}
 	if s.Stalled == 0 {
 		// Corollary 2.7: the NEW sets partition V ∖ {source}.

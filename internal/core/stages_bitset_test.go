@@ -1,0 +1,151 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"radiobcast/internal/domset"
+	"radiobcast/internal/graph"
+)
+
+// The word-parallel stage kernel must be indistinguishable from the
+// scalar reference: same DOM/NEW lists, same ℓ, same labels, same stay
+// picks — bit for bit, for every prune order. These differential tests
+// are the contract that lets the kernel be the default while the scalar
+// builder stays selectable via BuildOptions.Scalar.
+
+// assertStagesIdentical compares the full delta representation (which
+// determines everything else) plus the scalar metadata.
+func assertStagesIdentical(t *testing.T, tag string, bit, sca *Stages) {
+	t.Helper()
+	if bit.L != sca.L || bit.Stalled != sca.Stalled || bit.NumStored() != sca.NumStored() {
+		t.Fatalf("%s: bitset ℓ=%d stalled=%d stages=%d, scalar ℓ=%d stalled=%d stages=%d",
+			tag, bit.L, bit.Stalled, bit.NumStored(), sca.L, sca.Stalled, sca.NumStored())
+	}
+	bd, bn := bit.StageSets()
+	sd, sn := sca.StageSets()
+	if !reflect.DeepEqual(bd, sd) {
+		t.Fatalf("%s: DOM lists differ:\nbitset %v\nscalar %v", tag, bd, sd)
+	}
+	if !reflect.DeepEqual(bn, sn) {
+		t.Fatalf("%s: NEW lists differ:\nbitset %v\nscalar %v", tag, bn, sn)
+	}
+}
+
+func assertLabelingsIdentical(t *testing.T, tag string, bit, sca *Labeling) {
+	t.Helper()
+	if !reflect.DeepEqual(bit.Labels, sca.Labels) {
+		t.Fatalf("%s: labels differ:\nbitset %v\nscalar %v", tag, bit.Labels, sca.Labels)
+	}
+	if !reflect.DeepEqual(bit.StayPick, sca.StayPick) {
+		t.Fatalf("%s: stay picks differ:\nbitset %v\nscalar %v", tag, bit.StayPick, sca.StayPick)
+	}
+	if bit.Z != sca.Z || bit.R != sca.R {
+		t.Fatalf("%s: z/r differ: bitset (%d,%d) scalar (%d,%d)", tag, bit.Z, bit.R, sca.Z, sca.R)
+	}
+	assertStagesIdentical(t, tag, bit.Stages, sca.Stages)
+}
+
+// TestBitsetScalarStagesIdentical pins the two builders set-for-set equal
+// across every family, prune order and a spread of sources — including
+// the five materialized sets of every stage, which exercises the replay
+// cursor against the scalar construction's own snapshots.
+func TestBitsetScalarStagesIdentical(t *testing.T) {
+	graphs := map[string]*graph.Graph{"figure1": graph.Figure1()}
+	for _, name := range graph.FamilyNames() {
+		graphs[name] = graph.Families[name](24)
+	}
+	for name, g := range graphs {
+		for _, order := range domset.Orders {
+			for _, src := range []int{0, g.N() / 2, g.N() - 1} {
+				tag := name + "/" + order.String()
+				bit, err := BuildStages(g, src, BuildOptions{Order: order})
+				if err != nil {
+					t.Fatalf("%s: bitset: %v", tag, err)
+				}
+				sca, err := BuildStages(g, src, BuildOptions{Order: order, Scalar: true})
+				if err != nil {
+					t.Fatalf("%s: scalar: %v", tag, err)
+				}
+				assertStagesIdentical(t, tag, bit, sca)
+				for i := 1; i <= bit.NumStored(); i++ {
+					b, s := bit.Stage(i), sca.Stage(i)
+					if !b.Inf.Equal(s.Inf) || !b.Uninf.Equal(s.Uninf) || !b.Frontier.Equal(s.Frontier) ||
+						!b.Dom.Equal(s.Dom) || !b.New.Equal(s.New) {
+						t.Fatalf("%s: stage %d sets differ", tag, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBitsetScalarLabelingsIdentical pins λ, λack and λarb — labels, stay
+// picks, z and r — across the scheme × family × order matrix.
+func TestBitsetScalarLabelingsIdentical(t *testing.T) {
+	schemes := map[string]func(g *graph.Graph, opt BuildOptions) (*Labeling, error){
+		"lambda":    func(g *graph.Graph, opt BuildOptions) (*Labeling, error) { return Lambda(g, 0, opt) },
+		"lambdaack": func(g *graph.Graph, opt BuildOptions) (*Labeling, error) { return LambdaAck(g, 0, opt) },
+		"lambdaarb": func(g *graph.Graph, opt BuildOptions) (*Labeling, error) { return LambdaArb(g, 0, opt) },
+	}
+	graphs := map[string]*graph.Graph{"figure1": graph.Figure1()}
+	for _, name := range graph.FamilyNames() {
+		graphs[name] = graph.Families[name](24)
+	}
+	for gname, g := range graphs {
+		for sname, label := range schemes {
+			for _, order := range domset.Orders {
+				tag := sname + "/" + gname + "/" + order.String()
+				bit, err := label(g, BuildOptions{Order: order})
+				if err != nil {
+					t.Fatalf("%s: bitset: %v", tag, err)
+				}
+				sca, err := label(g, BuildOptions{Order: order, Scalar: true})
+				if err != nil {
+					t.Fatalf("%s: scalar: %v", tag, err)
+				}
+				assertLabelingsIdentical(t, tag, bit, sca)
+			}
+		}
+	}
+}
+
+// TestBitsetScalarQuickRandom drives both builders over random connected
+// G(n,p) graphs with random sources and orders.
+func TestBitsetScalarQuickRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(uint64(seed)%60)
+		g := graph.GNPConnected(n, 0.15, seed)
+		src := int(uint64(seed) % uint64(n))
+		order := domset.Orders[uint64(seed)%uint64(len(domset.Orders))]
+		bit, err1 := Lambda(g, src, BuildOptions{Order: order})
+		sca, err2 := Lambda(g, src, BuildOptions{Order: order, Scalar: true})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return reflect.DeepEqual(bit.Labels, sca.Labels) &&
+			reflect.DeepEqual(bit.StayPick, sca.StayPick) &&
+			bit.Stages.L == sca.Stages.L
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitsetSingleNode pins the n=1 degenerate case on both builders.
+func TestBitsetSingleNode(t *testing.T) {
+	g := graph.Complete(1)
+	bit, err := BuildStages(g, 0, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sca, err := BuildStages(g, 0, BuildOptions{Scalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStagesIdentical(t, "K1", bit, sca)
+	if bit.L != 1 {
+		t.Fatalf("ℓ = %d, want 1", bit.L)
+	}
+}

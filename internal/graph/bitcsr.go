@@ -1,5 +1,7 @@
 package graph
 
+import "math/bits"
+
 // BitCSR is the word-parallel companion of a CSR: each node's sorted
 // adjacency list is regrouped into neighborhood slabs — (word, mask)
 // pairs where word indexes a 64-node block of the node space and mask
@@ -29,6 +31,35 @@ type BitCSR struct {
 func (b *BitCSR) Slabs(v int) ([]int32, []uint64) {
 	lo, hi := b.Off[v], b.Off[v+1]
 	return b.Words[lo:hi], b.Masks[lo:hi]
+}
+
+// FirstIn returns the smallest neighbour of v whose bit is set in words
+// (the same 64-per-word layout as nodeset and the engine state), or -1 if
+// no neighbour is in the set. Slabs are stored in ascending word order and
+// TrailingZeros finds the lowest bit, so the scan is word-parallel yet
+// returns exactly the ascending-order answer a per-neighbour loop would —
+// this is what the stay-sender pick of §2.2 and the stage kernels use to
+// stay bit-identical to the scalar construction.
+func (b *BitCSR) FirstIn(v int, words []uint64) int {
+	lo, hi := b.Off[v], b.Off[v+1]
+	for k := lo; k < hi; k++ {
+		wi := b.Words[k]
+		if x := b.Masks[k] & words[wi]; x != 0 {
+			return int(wi)<<6 | bits.TrailingZeros64(x)
+		}
+	}
+	return -1
+}
+
+// CountIn returns the number of neighbours of v whose bit is set in words
+// — one popcount per slab instead of a membership test per neighbour.
+func (b *BitCSR) CountIn(v int, words []uint64) int {
+	lo, hi := b.Off[v], b.Off[v+1]
+	c := 0
+	for k := lo; k < hi; k++ {
+		c += bits.OnesCount64(b.Masks[k] & words[b.Words[k]])
+	}
+	return c
 }
 
 // Bits returns the slab form of the CSR, building it on first use and

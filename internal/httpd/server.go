@@ -349,6 +349,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 		{"radiobcastd_session_cache_misses_total", "Labelings computed and cached by the Session.", "counter", float64(st.Misses)},
 		{"radiobcastd_session_cache_bypasses_total", "Labelings computed without consulting the cache.", "counter", float64(st.Bypasses)},
 		{"radiobcastd_session_cache_evictions_total", "LRU entries discarded to make room.", "counter", float64(st.Evictions)},
+		{"radiobcastd_session_cache_coalesced_total", "Requests deduplicated onto an in-flight labeling (single-flight).", "counter", float64(st.Coalesced)},
 		{"radiobcastd_session_cache_entries", "Labelings currently cached.", "gauge", float64(st.Entries)},
 		{"radiobcastd_sweeps_in_flight", "Sweeps currently holding a pool slot.", "gauge", float64(len(s.sweepSem))},
 		{"radiobcastd_sweep_slots", "Size of the sweep pool.", "gauge", float64(cap(s.sweepSem))},

@@ -50,6 +50,32 @@ func Full(n int) *Set {
 // Universe returns the universe size n.
 func (s *Set) Universe() int { return s.n }
 
+// Words exposes the set's backing bit words (64 nodes per word, node v at
+// bit v%64 of word v/64). The slice is owned by the set: callers must
+// treat it as read-only. It is the seam between Set-typed consumers and
+// the word-parallel kernels in core/domset, which operate on raw []uint64.
+func (s *Set) Words() []uint64 { return s.words }
+
+// FromWords returns a set over {0..n-1} initialized from bit words (same
+// layout as Words). The words are copied; missing trailing words read as
+// zero, and bits at or above n are dropped.
+func FromWords(n int, words []uint64) *Set {
+	s := New(n)
+	copy(s.words, words)
+	s.trim()
+	return s
+}
+
+// OfInt32 returns a set over {0..n-1} containing the given elements — the
+// int32-list form used by the delta-compressed stage storage in core.
+func OfInt32(n int, elems []int32) *Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(int(e))
+	}
+	return s
+}
+
 func (s *Set) check(v int) {
 	if v < 0 || v >= s.n {
 		panic(fmt.Sprintf("nodeset: element %d out of universe [0,%d)", v, s.n))

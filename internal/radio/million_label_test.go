@@ -1,0 +1,98 @@
+// Million-node *labeling* smoke tests — the preprocessing-side companion
+// of TestMillionNodeSmoke. This file is an external test package so it
+// can drive the public facade (Session, RunLabeled) over the same graphs
+// the engine scale tests use without an import cycle.
+package radio_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"radiobcast"
+)
+
+// labelingHeapCeiling bounds the heap growth one million-node labeling is
+// allowed to retain. The word-parallel builder stores only the DOM/NEW
+// deltas — Θ(n + Σ|DOM_i|+|NEW_i|) — plus the labels themselves; 512 MiB
+// is an order of magnitude of slack on top of that, while the former
+// five-full-sets-per-stage snapshots would have needed Θ(n·ℓ) bits
+// (≈ 78 TiB for the 10⁶-node path) and could not fit at any ceiling.
+const labelingHeapCeiling = 512 << 20
+
+func heapInUse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// labelUnderCeiling labels net with scheme b and fails the test if the
+// retained heap delta exceeds the ceiling.
+func labelUnderCeiling(t *testing.T, net *radiobcast.Network, tag string) *radiobcast.Labeling {
+	t.Helper()
+	before := heapInUse()
+	l, err := radiobcast.LabelNetwork(net, "b")
+	if err != nil {
+		t.Fatalf("%s: label: %v", tag, err)
+	}
+	after := heapInUse()
+	if after > before && after-before > labelingHeapCeiling {
+		t.Fatalf("%s: labeling retained %d MiB, ceiling %d MiB",
+			tag, (after-before)>>20, labelingHeapCeiling>>20)
+	}
+	return l
+}
+
+// TestMillionNodeLabelingSmoke labels a streamed million-node G(n,p)
+// graph end-to-end under an explicit memory ceiling, then RunLabels it
+// through a Session and requires full broadcast coverage. Before the
+// delta-compressed stage storage and the word-parallel builder this was
+// infeasible: the scalar pipeline's Θ(n²) set snapshots and node-at-a-
+// time pruning could not label graphs the PR 8 engine could already run.
+func TestMillionNodeLabelingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-node labeling smoke is a scale test")
+	}
+	const n = 1_000_000
+	net, err := radiobcast.Family("gnp-sparse", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := labelUnderCeiling(t, net, "gnp-sparse")
+	if l.Stages == nil || l.Stages.L < 2 {
+		t.Fatalf("implausible stage count ℓ = %v", l.Stages)
+	}
+
+	sess := radiobcast.NewSession()
+	defer sess.Close(nil)
+	out, err := sess.RunLabeled(context.Background(), l)
+	if err != nil {
+		t.Fatalf("run labeled: %v", err)
+	}
+	if !out.AllInformed {
+		t.Fatalf("broadcast with λ labels reached coverage %.4f, want 1", out.Coverage)
+	}
+	if err := radiobcast.Verify(out); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+// TestMillionNodePathLabeling labels the deep extreme: a million-node
+// path, where ℓ = n and the old per-stage snapshots were Θ(n²) bits.
+// With delta storage the whole structure is Θ(n), so this completes
+// under the same ceiling as the shallow G(n,p) case.
+func TestMillionNodePathLabeling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-node labeling smoke is a scale test")
+	}
+	const n = 1_000_000
+	net, err := radiobcast.Family("path", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := labelUnderCeiling(t, net, "path")
+	if l.Stages.L != n {
+		t.Fatalf("path ℓ = %d, want %d", l.Stages.L, n)
+	}
+}

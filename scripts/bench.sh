@@ -9,7 +9,8 @@
 #
 #   <n>           index of the BENCH_<n>.json file to write (required)
 #   bench-regex   go test -bench pattern
-#                 (default: the broadcast + baseline + sweep hot paths)
+#                 (default: the broadcast + baseline + sweep + labeling
+#                 hot paths)
 #   benchtime     go test -benchtime value (default: 1s)
 #
 # Examples:
@@ -20,7 +21,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 n="${1:?usage: scripts/bench.sh <n> [bench-regex] [benchtime]}"
-pattern="${2:-BenchmarkBroadcastB\$|BenchmarkBroadcastBack\$|BenchmarkBaselines\$|BenchmarkSweep\$}"
+pattern="${2:-BenchmarkBroadcastB\$|BenchmarkBroadcastBack\$|BenchmarkBaselines\$|BenchmarkSweep\$|BenchmarkLabeling\$|BenchmarkSessionCacheMiss\$}"
 benchtime="${3:-1s}"
 out="BENCH_${n}.json"
 

@@ -23,7 +23,9 @@ import (
 //
 // The first Run for a topology pays the labeling; every later Run on a
 // structurally identical graph is a cache hit that goes straight to a
-// pooled engine. Stats reports hits, misses and evictions.
+// pooled engine. Concurrent first requests for the same key are
+// single-flighted: one computes, the rest wait for it and share the
+// result. Stats reports hits, misses, coalesced waits and evictions.
 //
 // One caveat inherited from Graph's lazy caches (Freeze, Fingerprint):
 // when a single *Graph value is shared by concurrent Runs, call its
@@ -35,7 +37,7 @@ type Session struct {
 	// accessors never contend with (or block behind) the cache lock —
 	// the /metrics handler of a serving daemon reads them on every
 	// scrape while request goroutines are mid-labeling.
-	hits, misses, bypasses, evictions atomic.Uint64
+	hits, misses, bypasses, evictions, coalesced atomic.Uint64
 
 	// opMu guards closed against ops.Add: begin takes the read side, so
 	// any number of operations start concurrently; Close takes the write
@@ -49,6 +51,19 @@ type Session struct {
 	capacity int
 	lru      list.List // of *cacheEntry, most recent first
 	index    map[labelingKey]*list.Element
+	// flights dedups concurrent label computations: the first miss on a
+	// key becomes the leader and computes; later misses on the same key
+	// wait on the flight instead of burning a core each on identical work.
+	flights map[labelingKey]*flight
+}
+
+// flight is one in-progress labeling computation. The leader fills l/err
+// and closes done; waiters read them only after done is closed (the
+// happens-before edge), or abandon the wait when their own context ends.
+type flight struct {
+	done chan struct{}
+	l    *Labeling
+	err  error
 }
 
 // labelingKey identifies a cached labeling. The fingerprint is a 64-bit
@@ -82,6 +97,12 @@ type SessionStats struct {
 	Bypasses uint64
 	// Evictions counts LRU entries discarded to make room.
 	Evictions uint64
+	// Coalesced counts requests that waited on another request's
+	// in-flight labeling of the same key instead of computing their own
+	// (single-flight deduplication). A coalesced request is neither a hit
+	// nor a miss: N concurrent first requests for one key are 1 miss and
+	// N−1 coalesced waits.
+	Coalesced uint64
 	// Entries is the number of labelings currently cached.
 	Entries int
 }
@@ -107,7 +128,11 @@ func WithLabelingCache(capacity int) SessionOption {
 // NewSession returns a Session with an empty engine pool and labeling
 // cache.
 func NewSession(opts ...SessionOption) *Session {
-	s := &Session{capacity: DefaultLabelingCacheSize, index: map[labelingKey]*list.Element{}}
+	s := &Session{
+		capacity: DefaultLabelingCacheSize,
+		index:    map[labelingKey]*list.Element{},
+		flights:  map[labelingKey]*flight{},
+	}
 	s.sims.New = func() any { return NewSim() }
 	for _, o := range opts {
 		o(s)
@@ -127,6 +152,7 @@ func (s *Session) Stats() SessionStats {
 		Misses:    s.misses.Load(),
 		Bypasses:  s.bypasses.Load(),
 		Evictions: s.evictions.Load(),
+		Coalesced: s.coalesced.Load(),
 		Entries:   s.CacheEntries(),
 	}
 }
@@ -144,6 +170,10 @@ func (s *Session) CacheBypasses() uint64 { return s.bypasses.Load() }
 // CacheEvictions returns the cumulative eviction count (see
 // SessionStats.Evictions).
 func (s *Session) CacheEvictions() uint64 { return s.evictions.Load() }
+
+// CacheCoalesced returns the cumulative count of requests deduplicated
+// onto another request's in-flight labeling (see SessionStats.Coalesced).
+func (s *Session) CacheCoalesced() uint64 { return s.coalesced.Load() }
 
 // CacheEntries returns the number of labelings currently cached.
 func (s *Session) CacheEntries() int {
@@ -206,7 +236,7 @@ func (s *Session) Label(ctx context.Context, net *Network, scheme string, opts .
 	if err != nil {
 		return nil, err
 	}
-	return s.labelCached(sch, net.Graph, source, cfg)
+	return s.labelCached(ctx, sch, net.Graph, source, cfg)
 }
 
 // Run labels (or cache-hits) the network and executes one broadcast on a
@@ -223,7 +253,7 @@ func (s *Session) Run(ctx context.Context, net *Network, scheme string, opts ...
 	if err != nil {
 		return nil, err
 	}
-	l, err := s.labelCached(sch, net.Graph, source, cfg)
+	l, err := s.labelCached(ctx, sch, net.Graph, source, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -267,12 +297,17 @@ func cacheable(cfg *Config) bool {
 	return cfg.Build == (core.BuildOptions{}) && !cfg.Quick && cfg.Seed == 1
 }
 
-// labelCached serves sch.Label through the LRU. The labeling itself is
-// computed outside the session lock — concurrent misses on different keys
-// label in parallel; concurrent misses on the same key may both compute,
-// and the second insert is dropped (both labelings are identical, so
-// either serves).
-func (s *Session) labelCached(sch Scheme, g *Graph, source int, cfg *Config) (*Labeling, error) {
+// labelCached serves sch.Label through the LRU with single-flight
+// deduplication. The labeling itself is computed outside the session lock
+// — concurrent misses on different keys label in parallel — but
+// concurrent misses on the *same* key do the work exactly once: the first
+// becomes the leader (counted as the miss), computes, inserts, and wakes
+// the others, which wait on the flight (counted as coalesced) and return
+// the leader's labeling. A waiter whose own context ends abandons the
+// wait with ctx.Err(); the leader is unaffected. Labeling errors are
+// delivered to every request of the flight but are not cached — the next
+// request retries.
+func (s *Session) labelCached(ctx context.Context, sch Scheme, g *Graph, source int, cfg *Config) (*Labeling, error) {
 	if s.capacity <= 0 || !cacheable(cfg) {
 		s.bypasses.Add(1)
 		return sch.Label(g, source, cfg)
@@ -289,23 +324,48 @@ func (s *Session) labelCached(sch Scheme, g *Graph, source int, cfg *Config) (*L
 		s.hits.Add(1)
 		return l, nil
 	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		if ctx == nil {
+			<-f.done
+			return f.l, f.err
+		}
+		select {
+		case <-f.done:
+			return f.l, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
 	s.mu.Unlock()
 	s.misses.Add(1)
 
-	l, err := sch.Label(g, source, cfg)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	if _, ok := s.index[key]; !ok {
-		s.index[key] = s.lru.PushFront(&cacheEntry{key: key, l: l})
-		for s.lru.Len() > s.capacity {
-			oldest := s.lru.Back()
-			s.lru.Remove(oldest)
-			delete(s.index, oldest.Value.(*cacheEntry).key)
-			s.evictions.Add(1)
+	defer func() {
+		if f.l == nil && f.err == nil {
+			// sch.Label panicked out from under us; don't strand the
+			// waiters with a nil result (the panic itself propagates to
+			// this leader's caller after the deferred cleanup).
+			f.err = fmt.Errorf("radiobcast: labeling %s aborted", sch.Name())
 		}
-	}
-	s.mu.Unlock()
-	return l, nil
+		s.mu.Lock()
+		delete(s.flights, key)
+		if f.err == nil {
+			if _, ok := s.index[key]; !ok {
+				s.index[key] = s.lru.PushFront(&cacheEntry{key: key, l: f.l})
+				for s.lru.Len() > s.capacity {
+					oldest := s.lru.Back()
+					s.lru.Remove(oldest)
+					delete(s.index, oldest.Value.(*cacheEntry).key)
+					s.evictions.Add(1)
+				}
+			}
+		}
+		s.mu.Unlock()
+		close(f.done)
+	}()
+	f.l, f.err = sch.Label(g, source, cfg)
+	return f.l, f.err
 }

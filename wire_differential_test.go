@@ -1,0 +1,44 @@
+// Differential test at the facade seam: the word-parallel and scalar
+// stage builders must produce byte-identical wire-format labelings, so a
+// labeling shipped by a monitor running either pipeline replays the same
+// everywhere.
+package radiobcast_test
+
+import (
+	"bytes"
+	"testing"
+
+	"radiobcast"
+	"radiobcast/internal/core"
+)
+
+func TestWireBytesBitsetScalarIdentical(t *testing.T) {
+	for _, family := range []string{"figure1", "path", "grid", "gnp-sparse", "btree", "complete"} {
+		net, err := radiobcast.Family(family, 24)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		for _, scheme := range []string{"b", "back", "barb"} {
+			bit, err := radiobcast.LabelNetwork(net, scheme)
+			if err != nil {
+				t.Fatalf("%s/%s: bitset: %v", family, scheme, err)
+			}
+			sca, err := radiobcast.LabelNetwork(net, scheme,
+				radiobcast.WithBuild(core.BuildOptions{Scalar: true}))
+			if err != nil {
+				t.Fatalf("%s/%s: scalar: %v", family, scheme, err)
+			}
+			var bw, sw bytes.Buffer
+			if err := radiobcast.WriteLabeling(&bw, bit); err != nil {
+				t.Fatalf("%s/%s: write bitset: %v", family, scheme, err)
+			}
+			if err := radiobcast.WriteLabeling(&sw, sca); err != nil {
+				t.Fatalf("%s/%s: write scalar: %v", family, scheme, err)
+			}
+			if !bytes.Equal(bw.Bytes(), sw.Bytes()) {
+				t.Fatalf("%s/%s: wire bytes differ (%d vs %d bytes)",
+					family, scheme, bw.Len(), sw.Len())
+			}
+		}
+	}
+}
