@@ -21,6 +21,16 @@
 //	labeler -family grid -n 64 -scheme b -sources 0,7,42
 //	labeler -family path -n 1024 -scheme back -sources all -save path.labels
 //
+// With -store, labelings go through the persistent labeling store: ones
+// already on disk are served from it, new ones are written back, and any
+// other process pointing at the same directory (radiobcastd -store, a
+// later labeler) reuses them bit-identically. -populate bulk-fills a
+// store by fanning a families × sizes × schemes × sources product
+// through one Session:
+//
+//	labeler -store /var/lib/radiobcast/labelings -family grid -n 64 -scheme b
+//	labeler -store dir -populate "families=path,grid;sizes=64,256;schemes=b,back,gjp"
+//
 // Usage:
 //
 //	labeler -family grid -n 25 -scheme b -stages
@@ -57,6 +67,8 @@ func main() {
 		dot      = flag.String("dot", "", "write Graphviz DOT to file")
 		save     = flag.String("save", "", "write the labeling in the portable wire format to this file")
 		load     = flag.String("load", "", "read a labeling from this file instead of computing one")
+		storeDir = flag.String("store", "", "persistent labeling-store directory: read labelings from it, write new ones back")
+		populate = flag.String("populate", "", `bulk-populate the store: "families=a,b;sizes=16,64;schemes=b,back[;sources=0,7]" (requires -store)`)
 		timeout  = cliutil.TimeoutFlag(0, "the labeling computation")
 		listSchm = flag.Bool("schemes", false, "list registered schemes and exit")
 		listFam  = flag.Bool("families", false, "list graph families and exit")
@@ -73,6 +85,22 @@ func main() {
 	if *listFam {
 		for _, name := range radiobcast.FamilyNames() {
 			fmt.Println(name)
+		}
+		return
+	}
+
+	if *populate != "" {
+		if *storeDir == "" {
+			fail(fmt.Errorf("-populate requires -store"))
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		if err := populateStore(ctx, *storeDir, *populate, *workers); err != nil {
+			fail(err)
 		}
 		return
 	}
@@ -109,12 +137,23 @@ func main() {
 			defer cancel()
 		}
 		if *sources != "" {
-			if err := labelMany(ctx, net, *scheme, *sources, *workers, *save); err != nil {
+			if err := labelMany(ctx, net, *scheme, *sources, *workers, *save, *storeDir); err != nil {
 				fail(err)
 			}
 			return
 		}
-		l, err = radiobcast.LabelNetworkCtx(ctx, net, *scheme)
+		if *storeDir != "" {
+			sess := radiobcast.NewSession(radiobcast.WithStore(*storeDir))
+			if err := sess.Err(); err != nil {
+				fail(err)
+			}
+			l, err = sess.Label(ctx, net, *scheme)
+			if cerr := sess.Close(nil); err == nil {
+				err = cerr
+			}
+		} else {
+			l, err = radiobcast.LabelNetworkCtx(ctx, net, *scheme)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -187,7 +226,7 @@ func main() {
 // <save>.s<source> in the wire format. Duplicate sources in the list are
 // served by the Session cache — or coalesced onto the in-flight
 // computation when workers race — rather than recomputed.
-func labelMany(ctx context.Context, net *radiobcast.Network, scheme, list string, workers int, savePrefix string) error {
+func labelMany(ctx context.Context, net *radiobcast.Network, scheme, list string, workers int, savePrefix, storeDir string) error {
 	srcs, err := parseSources(list, net.Graph.N())
 	if err != nil {
 		return err
@@ -196,7 +235,14 @@ func labelMany(ctx context.Context, net *radiobcast.Network, scheme, list string
 	// graph's lazy caches are read-only from here on.
 	net.Graph.Freeze()
 	net.Graph.Fingerprint()
-	sess := radiobcast.NewSession()
+	var opts []radiobcast.SessionOption
+	if storeDir != "" {
+		opts = append(opts, radiobcast.WithStore(storeDir))
+	}
+	sess := radiobcast.NewSession(opts...)
+	if err := sess.Err(); err != nil {
+		return err
+	}
 	defer sess.Close(nil)
 
 	type result struct {
@@ -244,7 +290,138 @@ func labelMany(ctx context.Context, net *radiobcast.Network, scheme, list string
 	}
 	st := sess.Stats()
 	fmt.Printf("session: %d computed, %d cache hits, %d coalesced\n", st.Misses, st.Hits, st.Coalesced)
+	if storeDir != "" {
+		fmt.Printf("store: %d hits, %d writes, %d entries, %d bytes\n",
+			st.StoreHits, st.StoreWrites, st.StoreEntries, st.StoreBytes)
+	}
 	return nil
+}
+
+// populateStore bulk-fills a labeling store: the families × sizes ×
+// schemes × sources product is fanned across workers through one shared
+// Session backed by the store, so entries already on disk are skipped
+// and new ones are computed once and persisted. Combos a scheme cannot
+// label (gjp and onebit are not universal) are reported but do not stop
+// the rest; any failure makes the exit status nonzero.
+func populateStore(ctx context.Context, dir, spec string, workers int) error {
+	families, sizes, schemes, srcs, err := parsePopulate(spec)
+	if err != nil {
+		return err
+	}
+	sess := radiobcast.NewSession(radiobcast.WithStore(dir), radiobcast.WithStorePreload(0))
+	if err := sess.Err(); err != nil {
+		return err
+	}
+	defer sess.Close(nil)
+
+	// One frozen graph per (family, size), shared by every scheme and
+	// source combo so the Session keys them onto the same fingerprint.
+	type topo struct {
+		net *radiobcast.Network
+		err error
+	}
+	topos := map[string]topo{}
+	var jobs []job
+	for _, fam := range families {
+		for _, n := range sizes {
+			id := fmt.Sprintf("%s/%d", fam, n)
+			net, err := radiobcast.Family(fam, n)
+			if err == nil {
+				net.Graph.Freeze()
+				net.Graph.Fingerprint()
+			}
+			topos[id] = topo{net: net, err: err}
+			for _, scheme := range schemes {
+				for _, src := range srcs {
+					jobs = append(jobs, job{id: id, scheme: scheme, source: src})
+				}
+			}
+		}
+	}
+	type outcome struct {
+		line string
+		ok   bool
+	}
+	results, _ := sweep.MapErr(jobs, sweep.Workers(len(jobs), workers), func(j job) (outcome, error) {
+		t := topos[j.id]
+		if t.err != nil {
+			return outcome{fmt.Sprintf("%s %s source %d: %v", j.id, j.scheme, j.source, t.err), false}, nil
+		}
+		if j.source < 0 || j.source >= t.net.Graph.N() {
+			return outcome{fmt.Sprintf("%s %s source %d: out of range", j.id, j.scheme, j.source), false}, nil
+		}
+		one := radiobcast.NewNetwork(t.net.Graph).At(j.source)
+		one.Name = t.net.Name
+		l, err := sess.Label(ctx, one, j.scheme)
+		if err != nil {
+			return outcome{fmt.Sprintf("%s %s source %d: %v", j.id, j.scheme, j.source, err), false}, nil
+		}
+		return outcome{fmt.Sprintf("%s %s source %d: %d bits, %d distinct", j.id, j.scheme, j.source, l.Bits(), l.Distinct()), true}, nil
+	})
+	failures := 0
+	for _, r := range results {
+		fmt.Println(r.line)
+		if !r.ok {
+			failures++
+		}
+	}
+	st := sess.Stats()
+	fmt.Printf("store %s: %d combos, %d computed, %d store hits, %d cache hits, %d coalesced, %d written, %d entries, %d bytes\n",
+		dir, len(jobs), st.Misses, st.StoreHits, st.Hits, st.Coalesced, st.StoreWrites, st.StoreEntries, st.StoreBytes)
+	if failures > 0 {
+		return fmt.Errorf("%d of %d combos failed", failures, len(jobs))
+	}
+	return nil
+}
+
+type job struct {
+	id     string
+	scheme string
+	source int
+}
+
+// parsePopulate parses the -populate spec: semicolon-separated
+// key=comma-list pairs; families, sizes and schemes are required,
+// sources defaults to 0.
+func parsePopulate(spec string) (families []string, sizes []int, schemes []string, srcs []int, err error) {
+	srcs = []int{0}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, nil, nil, nil, fmt.Errorf("-populate: %q is not key=value", part)
+		}
+		vals := strings.Split(v, ",")
+		switch k {
+		case "families":
+			families = vals
+		case "schemes":
+			schemes = vals
+		case "sizes", "sources":
+			var ints []int
+			for _, s := range vals {
+				i, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					return nil, nil, nil, nil, fmt.Errorf("-populate: %q is not an integer", s)
+				}
+				ints = append(ints, i)
+			}
+			if k == "sizes" {
+				sizes = ints
+			} else {
+				srcs = ints
+			}
+		default:
+			return nil, nil, nil, nil, fmt.Errorf("-populate: unknown key %q", k)
+		}
+	}
+	if len(families) == 0 || len(sizes) == 0 || len(schemes) == 0 {
+		return nil, nil, nil, nil, fmt.Errorf("-populate: families, sizes and schemes are all required")
+	}
+	return families, sizes, schemes, srcs, nil
 }
 
 // parseSources expands the -sources flag: "all" means every node, else a

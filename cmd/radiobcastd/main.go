@@ -18,7 +18,14 @@
 // Retry-After. SIGTERM/SIGINT starts a graceful drain: /readyz flips to
 // 503, in-flight requests finish under -drain, then the listener closes.
 //
+// With -store, the Session is backed by the persistent labeling store:
+// labelings computed for one request are written to disk, survive
+// restarts, and are shared with every other process pointing at the same
+// directory (e.g. a labeler that bulk-populated it). At startup the most
+// recent entries are preloaded into the in-memory cache (-store-preload).
+//
 //	radiobcastd -addr :8080 -cache 256 -sweeps 2
+//	radiobcastd -addr :8080 -store /var/lib/radiobcast/labelings
 //	curl -s localhost:8080/v1/run -d '{"graph":{"family":"grid","n":64},"scheme":"b"}'
 package main
 
@@ -41,6 +48,9 @@ func main() {
 		addr        = cliutil.AddrFlag(":8080")
 		timeout     = cliutil.TimeoutFlag(60e9, "each label/run request")
 		cache       = flag.Int("cache", radiobcast.DefaultLabelingCacheSize, "labeling-cache capacity in entries (0 disables)")
+		storeDir    = flag.String("store", "", "persistent labeling-store directory (empty disables the disk tier)")
+		storeBytes  = flag.Int64("store-bytes", 0, "labeling-store size cap in bytes (0 = unbounded)")
+		storeWarm   = flag.Int("store-preload", -1, "labelings preloaded from the store at startup (-1 = default, 0 disables)")
 		sweeps      = flag.Int("sweeps", 2, "concurrent sweep slots; a saturated pool answers 429")
 		sweepWk     = flag.Int("sweep-workers", 0, "worker-pool size per sweep (0 = GOMAXPROCS)")
 		rate        = flag.Float64("rate", 50, "per-client requests per second (negative disables rate limiting)")
@@ -56,9 +66,26 @@ func main() {
 	showVersion()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	sessOpts := []radiobcast.SessionOption{radiobcast.WithLabelingCache(*cache)}
+	if *storeDir != "" {
+		sessOpts = append(sessOpts,
+			radiobcast.WithStore(*storeDir),
+			radiobcast.WithStoreBytes(*storeBytes),
+			radiobcast.WithStorePreload(*storeWarm))
+	}
+	sess := radiobcast.NewSession(sessOpts...)
+	if err := sess.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "radiobcastd: %v\n", err)
+		os.Exit(1)
+	}
+	if *storeDir != "" {
+		st := sess.Stats()
+		logger.Printf("labeling store %s: %d entries, %d bytes, %d preloaded",
+			*storeDir, st.StoreEntries, st.StoreBytes, st.StoreHits)
+	}
 	srv := httpd.New(httpd.Config{
 		Addr:                *addr,
-		Session:             radiobcast.NewSession(radiobcast.WithLabelingCache(*cache)),
+		Session:             sess,
 		MaxBodyBytes:        *maxBody,
 		MaxGraphN:           *maxN,
 		MaxRounds:           *maxRounds,

@@ -25,6 +25,7 @@ var codecMatrix = map[string]struct {
 	"centralized": {"grid", 16},
 	"flooding":    {"star", 9},
 	"onebit":      {"path", 8},
+	"gjp":         {"grid", 16},
 }
 
 // TestLabelingCodecRoundTripAllSchemes pins the acceptance criterion: a

@@ -14,7 +14,7 @@ import (
 )
 
 // builtins is the full set of schemes this repository ships.
-var builtins = []string{"b", "back", "barb", "centralized", "colorrobin", "flooding", "onebit", "roundrobin"}
+var builtins = []string{"b", "back", "barb", "centralized", "colorrobin", "flooding", "gjp", "onebit", "roundrobin"}
 
 func TestRegistryComplete(t *testing.T) {
 	var got []string
@@ -56,6 +56,9 @@ func TestSchemeMatrix(t *testing.T) {
 		"centralized": general,
 		"onebit":      {{"path", 8}, {"cycle", 7}, {"star", 9}, {"grid", 9}},
 		"flooding":    {{"path", 8}, {"star", 9}, {"complete", 6}},
+		// gjp's constructive search succeeds on every shipped family except
+		// figure1 (the paper's adversarial example defeats 1-bit labels).
+		"gjp": general,
 	}
 	for _, scheme := range builtins {
 		fams, ok := matrix[scheme]

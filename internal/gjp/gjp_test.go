@@ -1,0 +1,197 @@
+package gjp
+
+import (
+	"testing"
+
+	"radiobcast/internal/core"
+	"radiobcast/internal/graph"
+	"radiobcast/internal/radio"
+)
+
+// complete runs the constructed labeling through the real engine and
+// reports whether every node ends up informed.
+func complete(t *testing.T, g *graph.Graph, labels []core.Label, source int) bool {
+	t.Helper()
+	mu := "µ"
+	ps := NewProtocols(labels, source, mu)
+	radio.Run(g, ps, radio.Options{MaxRounds: MaxRounds(g.N()), StopAfterSilent: 3})
+	for _, p := range ps {
+		ok, _ := p.(*Node).Informed()
+		if !ok {
+			return false
+		}
+		if got := p.(*Node).Message(); got != mu {
+			t.Fatalf("informed node holds %q, want %q", got, mu)
+		}
+	}
+	return true
+}
+
+func TestBuildFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path-12", graph.Path(12)},
+		{"path-2", graph.Path(2)},
+		{"cycle-9", graph.Cycle(9)},
+		{"cycle-3", graph.Cycle(3)},
+		{"star-10", graph.Star(10)},
+		{"wheel-9", graph.Wheel(9)},
+		{"complete-8", graph.Complete(8)},
+		{"grid-4x4", graph.Grid(4, 4)},
+		{"grid-6x6", graph.Grid(6, 6)},
+		{"torus-4x4", graph.Torus(4, 4)},
+		{"btree-15", graph.BinaryTree(15)},
+		{"hypercube-4", graph.Hypercube(4)},
+		{"caterpillar", graph.Caterpillar(6, 2)},
+		{"lollipop", graph.Lollipop(4, 12)},
+		{"barbell", graph.Barbell(4, 12)},
+	}
+	for _, tc := range cases {
+		labels, err := Build(tc.g, 0, DefaultBudget)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if len(labels) != tc.g.N() {
+			t.Errorf("%s: %d labels for %d nodes", tc.name, len(labels), tc.g.N())
+			continue
+		}
+		for v, l := range labels {
+			if l.Len() > 1 {
+				t.Errorf("%s: node %d has %d-bit label, scheme is 1-bit", tc.name, v, l.Len())
+			}
+		}
+		if !complete(t, tc.g, labels, 0) {
+			t.Errorf("%s: constructed labeling does not complete broadcast", tc.name)
+		}
+	}
+}
+
+func TestBuildAllSourcesSmall(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(9), graph.Cycle(8), graph.Grid(3, 3)} {
+		for src := 0; src < g.N(); src++ {
+			labels, err := Build(g, src, DefaultBudget)
+			if err != nil {
+				t.Fatalf("n=%d src=%d: %v", g.N(), src, err)
+			}
+			if !complete(t, g, labels, src) {
+				t.Fatalf("n=%d src=%d: incomplete broadcast", g.N(), src)
+			}
+		}
+	}
+}
+
+// TestBuildDeterministic: two builds of the same instance must agree
+// bit for bit — the search has no hidden randomness, so labelings are
+// reproducible across processes (the store contract depends on this).
+func TestBuildDeterministic(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Grid(5, 5), graph.Cycle(17), graph.BinaryTree(31)} {
+		a, err := Build(g, 0, DefaultBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(g, 0, DefaultBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("n=%d node %d: %q vs %q across builds", g.N(), v, a[v], b[v])
+			}
+		}
+	}
+}
+
+// TestBuildFigure1Fails pins the scheme's known limit: the paper's
+// Figure 1 graph defeats every 1-bit echo assignment, and Build must
+// report that as an error instead of returning a broken labeling.
+func TestBuildFigure1Fails(t *testing.T) {
+	if _, err := Build(graph.Figure1(), 0, DefaultBudget); err == nil {
+		t.Fatal("Build succeeded on Figure 1; expected the documented failure")
+	}
+}
+
+func TestBuildQuickBudget(t *testing.T) {
+	g := graph.Grid(4, 4)
+	labels, err := Build(g, 0, QuickBudget)
+	if err != nil {
+		t.Fatalf("quick budget: %v", err)
+	}
+	if !complete(t, g, labels, 0) {
+		t.Fatal("quick-budget labeling does not complete broadcast")
+	}
+}
+
+// TestProtocolTiming exercises the node state machine directly on a
+// 3-path with the middle node labeled 1: source sends in round 1, the
+// bit-1 middle node forwards µ at informedAt+2.
+func TestProtocolTiming(t *testing.T) {
+	mu := "µ"
+	src := NewNode(core.MakeLabel(false), &mu)
+	mid := NewNode(core.MakeLabel(true), nil)
+	end := NewNode(core.MakeLabel(false), nil)
+
+	// Round 1: source transmits; receptions are delivered at the NEXT
+	// round's Step (the engine hands round r−1's airwaves to round r).
+	a := src.Step(nil)
+	if !a.Transmit || a.Msg.Kind != radio.KindData || a.Msg.Payload != mu {
+		t.Fatalf("source round 1: %+v", a)
+	}
+	mid.Step(nil)
+	end.Step(nil)
+
+	// Round 2: middle processes the µ it heard in round 1 (informedAt=1);
+	// it is bit-1, so no echo and no transmission yet.
+	src.Step(nil)
+	if a := mid.Step(&radio.Message{Kind: radio.KindData, Payload: mu}); a.Transmit {
+		t.Fatalf("bit-1 node acted on reception round: %+v", a)
+	}
+	end.Step(nil)
+
+	// Round 3 (= informedAt+2): middle forwards µ.
+	src.Step(nil)
+	if a := mid.Step(nil); !a.Transmit || a.Msg.Kind != radio.KindData || a.Msg.Payload != mu {
+		t.Fatalf("middle round 3: %+v", a)
+	}
+	end.Step(nil)
+
+	// Round 4: end processes the forwarded µ — informed as of round 3.
+	end.Step(&radio.Message{Kind: radio.KindData, Payload: mu})
+	if ok, at := end.Informed(); !ok || at != 3 {
+		t.Fatalf("end Informed = %v at %d, want round 3", ok, at)
+	}
+}
+
+// TestProtocolEchoKeepsWaveAlive: a bit-0 node answers with a stay echo
+// at informedAt+1, and the transmitter that hears the lone echo
+// retransmits µ one round later.
+func TestProtocolEchoKeepsWaveAlive(t *testing.T) {
+	mu := "µ"
+	src := NewNode(core.MakeLabel(false), &mu)
+	zero := NewNode(core.MakeLabel(false), nil)
+
+	src.Step(nil) // round 1: transmit µ
+	zero.Step(nil)
+
+	// Round 2: the bit-0 node processes the reception (informedAt=1) and
+	// echoes in the same step.
+	src.Step(nil)
+	a := zero.Step(&radio.Message{Kind: radio.KindData, Payload: mu})
+	if !a.Transmit || a.Msg.Kind != radio.KindStay {
+		t.Fatalf("bit-0 node round 2: %+v", a)
+	}
+
+	// Round 3: the source processes the lone echo (echoAt=2) and, having
+	// last sent µ in round 1 (= r−2), retransmits to keep the wave alive.
+	if a := src.Step(&radio.Message{Kind: radio.KindStay}); !a.Transmit || a.Msg.Kind != radio.KindData || a.Msg.Payload != mu {
+		t.Fatalf("source after lone echo: %+v", a)
+	}
+}
+
+func TestMaxRounds(t *testing.T) {
+	if got := MaxRounds(10); got != 24 {
+		t.Fatalf("MaxRounds(10) = %d, want 24", got)
+	}
+}

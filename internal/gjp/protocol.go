@@ -1,0 +1,161 @@
+// Package gjp implements a 1-bit labeling scheme in the style of
+// Gańczorz–Jurdziński–Pelc (arXiv:2410.07382), who close the paper's
+// open question on the optimal label length for deterministic radio
+// broadcast. Our adaptation keeps their central mechanism — a single
+// label bit steering an echo-controlled broadcast wave — on top of this
+// repo's engine: a newly informed bit-1 node retransmits µ two rounds
+// after first hearing it, a newly informed bit-0 node instead sends a
+// constant-size "stay" echo one round after, and a transmitter that
+// hears a *collision-free* echo retransmits µ, keeping the wave alive
+// through regions where no bit-1 node was newly informed. The labeling
+// is found constructively by exact simulation with backtracking (see
+// Build); like the paper's scheme it is not universal — Build fails on
+// graphs where no 1-bit assignment sustains the wave — and every
+// labeling returned is verified by running the real protocol.
+package gjp
+
+import (
+	"radiobcast/internal/core"
+	"radiobcast/internal/radio"
+)
+
+// Node is the per-node protocol: decisions depend only on the node's
+// 1-bit label and the rounds (relative to its own history) in which it
+// received µ or the echo. The timing mirrors Algorithm B's skeleton:
+//
+//	r = informedAt+1: a bit-0 node sends the "stay" echo
+//	r = informedAt+2: a bit-1 node retransmits µ
+//	r = lastDataTx+2: any transmitter that heard a lone echo at
+//	                  lastDataTx+1 retransmits µ (wave continuation)
+//
+// Construct with NewNode; the zero value is not usable.
+type Node struct {
+	one      bool // the label bit
+	isSource bool
+
+	round      int
+	msg        string
+	haveMsg    bool
+	everActive bool
+	informedAt int // round of first µ reception (−1 for the source / never)
+	lastDataTx int // last round this node transmitted µ (−1 = never)
+	echoAt     int // round of the most recent echo reception (−1 = never)
+}
+
+// NewNode returns node state for the echo-controlled protocol. A node is
+// the source iff sourceMsg is non-nil; label is its 1-bit label.
+func NewNode(label core.Label, sourceMsg *string) *Node {
+	n := &Node{one: label.Bit(0), informedAt: -1, lastDataTx: -1, echoAt: -1}
+	if sourceMsg != nil {
+		n.isSource = true
+		n.haveMsg = true
+		n.msg = *sourceMsg
+	}
+	return n
+}
+
+// Informed reports whether the node holds µ, and the round it first
+// received it (0 for the source).
+func (n *Node) Informed() (bool, int) {
+	if n.isSource {
+		return true, 0
+	}
+	if n.informedAt > 0 {
+		return true, n.informedAt
+	}
+	return false, 0
+}
+
+// Message returns the node's current sourcemsg ("" if uninformed).
+func (n *Node) Message() string { return n.msg }
+
+// Step implements radio.Protocol.
+func (n *Node) Step(rcv *radio.Message) radio.Action {
+	n.round++
+	r := n.round
+
+	if rcv != nil {
+		n.everActive = true
+		switch rcv.Kind {
+		case radio.KindData:
+			if !n.haveMsg {
+				n.haveMsg = true
+				n.msg = rcv.Payload
+				n.informedAt = r - 1
+			}
+		case radio.KindStay:
+			n.echoAt = r - 1
+		}
+	}
+
+	switch {
+	case !n.everActive && n.haveMsg:
+		// The source transmits µ in its first round.
+		n.everActive = true
+		n.lastDataTx = r
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: n.msg})
+
+	case !n.haveMsg:
+		return radio.Listen
+
+	case n.informedAt > 0 && n.informedAt == r-1 && !n.one:
+		// Newly informed bit-0 node: acknowledge with the echo (this is
+		// the step that processed the µ reception itself).
+		return radio.Send(radio.Message{Kind: radio.KindStay})
+
+	case n.informedAt > 0 && n.informedAt == r-2 && n.one:
+		// Newly informed bit-1 node: forward µ.
+		n.lastDataTx = r
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: n.msg})
+
+	case n.lastDataTx > 0 && n.lastDataTx == r-2 && n.echoAt == r-1:
+		// Heard a lone echo after transmitting: the wave stalled past us,
+		// keep it alive.
+		n.lastDataTx = r
+		return radio.Send(radio.Message{Kind: radio.KindData, Payload: n.msg})
+
+	default:
+		return radio.Listen
+	}
+}
+
+// NextWake implements radio.Waker. Like B, the protocol is reactive: a
+// node acts in the two rounds after its first µ reception (the echo at
+// informedAt+1, the bit-1 forward at informedAt+2); the continuation
+// retransmission is triggered by an echo heard in the previous round,
+// which forces a step by itself.
+func (n *Node) NextWake() int {
+	if n.informedAt > 0 {
+		if w := n.informedAt + 1; w > n.round {
+			return w
+		}
+		if w := n.informedAt + 2; w > n.round {
+			return w
+		}
+	}
+	return radio.NeverWake
+}
+
+// Skip implements radio.Waker.
+func (n *Node) Skip(rounds int) { n.round += rounds }
+
+// NewProtocols builds one protocol per node, carved from one bulk
+// allocation.
+func NewProtocols(labels []core.Label, source int, mu string) []radio.Protocol {
+	nodes := make([]Node, len(labels))
+	ps := make([]radio.Protocol, len(labels))
+	for v := range labels {
+		var src *string
+		if v == source {
+			src = &mu
+		}
+		nodes[v] = *NewNode(labels[v], src)
+		ps[v] = &nodes[v]
+	}
+	return ps
+}
+
+// MaxRounds bounds a run: the wave informs at least one node every two
+// rounds while it is alive, plus slack for the opening and the final
+// echo/forward pair.
+func MaxRounds(n int) int { return 2*n + 4 }

@@ -21,9 +21,16 @@ set -eu
 cd "$(dirname "$0")/.."
 
 n="${1:?usage: scripts/bench.sh <n> [bench-regex] [benchtime]}"
-pattern="${2:-BenchmarkBroadcastB\$|BenchmarkBroadcastBack\$|BenchmarkBaselines\$|BenchmarkSweep\$|BenchmarkLabeling\$|BenchmarkSessionCacheMiss\$}"
+pattern="${2:-BenchmarkBroadcastB\$|BenchmarkBroadcastBack\$|BenchmarkBaselines\$|BenchmarkSweep\$|BenchmarkLabeling\$|BenchmarkSessionCacheMiss\$|BenchmarkSessionCacheHit\$|BenchmarkStoreHit\$}"
 benchtime="${3:-1s}"
 out="BENCH_${n}.json"
+
+# Recorded baselines are append-only: overwriting BENCH_<n>.json would
+# silently rewrite the series history. Pick the next free index instead.
+if [ -e "$out" ]; then
+  echo "error: $out already exists; refusing to overwrite a recorded baseline" >&2
+  exit 1
+fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"radiobcast/internal/core"
+	"radiobcast/internal/store"
 )
 
 // Session is the serving object of the facade: it owns a pool of reusable
@@ -38,6 +39,16 @@ type Session struct {
 	// the /metrics handler of a serving daemon reads them on every
 	// scrape while request goroutines are mid-labeling.
 	hits, misses, bypasses, evictions, coalesced atomic.Uint64
+	storeHits, storeMisses, storeWrites          atomic.Uint64
+
+	// store is the optional disk-backed L2 tier behind the LRU (see
+	// WithStore); initErr records a store that failed to open, failing
+	// every operation instead of silently serving without persistence.
+	store        *store.Store
+	storeDir     string
+	storeMax     int64
+	storePreload int
+	initErr      error
 
 	// opMu guards closed against ops.Add: begin takes the read side, so
 	// any number of operations start concurrently; Close takes the write
@@ -105,6 +116,20 @@ type SessionStats struct {
 	Coalesced uint64
 	// Entries is the number of labelings currently cached.
 	Entries int
+
+	// StoreHits counts labelings served from the disk store instead of
+	// computed: LRU misses satisfied by a store read, plus warm-start
+	// preloads. A store hit is neither a Hit nor a Miss.
+	StoreHits uint64
+	// StoreMisses counts LRU misses that also missed the store and had
+	// to compute (zero when no store is configured).
+	StoreMisses uint64
+	// StoreWrites counts labelings persisted to the store.
+	StoreWrites uint64
+	// StoreBytes is the current total size of stored blobs.
+	StoreBytes uint64
+	// StoreEntries is the current number of stored labelings.
+	StoreEntries int
 }
 
 // SessionOption configures NewSession.
@@ -125,19 +150,96 @@ func WithLabelingCache(capacity int) SessionOption {
 	}
 }
 
+// DefaultStorePreload bounds how many of the store's most-recent entries
+// NewSession preloads into the LRU when WithStorePreload does not say
+// otherwise (the cache capacity bounds it too).
+const DefaultStorePreload = 64
+
+// WithStore attaches a persistent disk-backed store rooted at dir as a
+// transparent L2 tier behind the LRU: an LRU miss reads the store before
+// computing, and every computed (cacheable) labeling is written back in
+// the portable wire format, so labelings survive the process and are
+// shared between Sessions pointing at the same directory. If the store
+// cannot be opened, every session operation fails with the open error
+// (see Err) rather than silently serving without persistence.
+func WithStore(dir string) SessionOption {
+	return func(s *Session) { s.storeDir = dir }
+}
+
+// WithStoreBytes caps the store's total blob bytes; past the cap the
+// least-recently-accessed blobs are evicted. 0 (the default) means
+// unbounded.
+func WithStoreBytes(max int64) SessionOption {
+	return func(s *Session) { s.storeMax = max }
+}
+
+// WithStorePreload sets how many of the store's most-recent labelings
+// NewSession decodes into the LRU up front (warm start); each preloaded
+// entry counts as a StoreHit. 0 disables preloading; a negative value
+// restores the default (min of DefaultStorePreload and the capacity).
+func WithStorePreload(n int) SessionOption {
+	return func(s *Session) { s.storePreload = n }
+}
+
 // NewSession returns a Session with an empty engine pool and labeling
 // cache.
 func NewSession(opts ...SessionOption) *Session {
 	s := &Session{
-		capacity: DefaultLabelingCacheSize,
-		index:    map[labelingKey]*list.Element{},
-		flights:  map[labelingKey]*flight{},
+		capacity:     DefaultLabelingCacheSize,
+		storePreload: -1,
+		index:        map[labelingKey]*list.Element{},
+		flights:      map[labelingKey]*flight{},
 	}
 	s.sims.New = func() any { return NewSim() }
 	for _, o := range opts {
 		o(s)
 	}
+	if s.storeDir != "" {
+		st, err := store.Open(s.storeDir, store.Options{MaxBytes: s.storeMax})
+		if err != nil {
+			s.initErr = fmt.Errorf("radiobcast: opening labeling store: %w", err)
+			return s
+		}
+		s.store = st
+		s.preloadStore()
+	}
 	return s
+}
+
+// Err reports whether the session was constructed in a failed state
+// (today: WithStore pointing at an unusable directory). A failed session
+// refuses every operation with this error; callers that can abort early —
+// the daemon, the labeler — check it right after NewSession.
+func (s *Session) Err() error { return s.initErr }
+
+// preloadStore warms the LRU with the store's most-recent labelings, so
+// a restarted daemon serves its working set from memory immediately.
+func (s *Session) preloadStore() {
+	n := s.storePreload
+	if n < 0 {
+		n = DefaultStorePreload
+	}
+	if n > s.capacity {
+		n = s.capacity
+	}
+	if n <= 0 {
+		return
+	}
+	for _, k := range s.store.RecentKeys(n) {
+		key := labelingKey{
+			fp: k.Fingerprint, n: k.N, m: k.M,
+			scheme: k.Scheme, source: k.Source, coordinator: k.Coordinator,
+		}
+		l, ok := s.storeGet(key)
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		if _, dup := s.index[key]; !dup {
+			s.index[key] = s.lru.PushBack(&cacheEntry{key: key, l: l})
+		}
+		s.mu.Unlock()
+	}
 }
 
 // Stats returns a snapshot of the labeling cache's counters. It is safe
@@ -147,14 +249,22 @@ func NewSession(opts ...SessionOption) *Session {
 // a snapshot taken mid-operation may be skewed by the operation in flight
 // — fine for metrics, which is what this is for.
 func (s *Session) Stats() SessionStats {
-	return SessionStats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Bypasses:  s.bypasses.Load(),
-		Evictions: s.evictions.Load(),
-		Coalesced: s.coalesced.Load(),
-		Entries:   s.CacheEntries(),
+	st := SessionStats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Bypasses:    s.bypasses.Load(),
+		Evictions:   s.evictions.Load(),
+		Coalesced:   s.coalesced.Load(),
+		Entries:     s.CacheEntries(),
+		StoreHits:   s.storeHits.Load(),
+		StoreMisses: s.storeMisses.Load(),
+		StoreWrites: s.storeWrites.Load(),
 	}
+	if s.store != nil {
+		st.StoreBytes = uint64(s.store.Bytes())
+		st.StoreEntries = s.store.Entries()
+	}
+	return st
 }
 
 // CacheHits returns the cumulative cache-hit count (see SessionStats.Hits).
@@ -182,10 +292,34 @@ func (s *Session) CacheEntries() int {
 	return s.lru.Len()
 }
 
+// StoreHits returns the cumulative count of labelings served from the
+// disk store (see SessionStats.StoreHits).
+func (s *Session) StoreHits() uint64 { return s.storeHits.Load() }
+
+// StoreMisses returns the cumulative count of LRU misses that also
+// missed the disk store (see SessionStats.StoreMisses).
+func (s *Session) StoreMisses() uint64 { return s.storeMisses.Load() }
+
+// StoreWrites returns the cumulative count of labelings persisted to the
+// disk store (see SessionStats.StoreWrites).
+func (s *Session) StoreWrites() uint64 { return s.storeWrites.Load() }
+
+// StoreBytes returns the current total size of stored labeling blobs (0
+// without a store).
+func (s *Session) StoreBytes() uint64 {
+	if s.store == nil {
+		return 0
+	}
+	return uint64(s.store.Bytes())
+}
+
 // begin registers one in-flight operation, failing once the session is
 // closed. Every public entry point pairs it with end, so Close can wait
 // for the pooled Sims (and the cache) to quiesce.
 func (s *Session) begin() error {
+	if s.initErr != nil {
+		return s.initErr
+	}
 	s.opMu.RLock()
 	defer s.opMu.RUnlock()
 	if s.closed {
@@ -207,19 +341,31 @@ func (s *Session) end() { s.ops.Done() }
 // Close does not cancel in-flight work; callers wanting a bounded drain
 // pass the same deadline to the operations' contexts (the daemon does
 // exactly that) or to ctx here.
+//
+// With a store attached, Close flushes (fsyncs) and closes its index
+// after the drain — store reads and writes happen inside registered
+// operations, so none can be in flight by the time the store goes away.
+// If ctx expires first, the session is still draining and the store is
+// closed by the drain goroutine once the last operation returns.
 func (s *Session) Close(ctx context.Context) error {
 	s.opMu.Lock()
 	s.closed = true
 	s.opMu.Unlock()
-	done := make(chan struct{})
-	go func() { s.ops.Wait(); close(done) }()
+	done := make(chan error, 1)
+	go func() {
+		s.ops.Wait()
+		var err error
+		if s.store != nil {
+			err = s.store.Close() // idempotent: safe across repeated Closes
+		}
+		done <- err
+	}()
 	if ctx == nil {
-		<-done
-		return nil
+		return <-done
 	}
 	select {
-	case <-done:
-		return nil
+	case err := <-done:
+		return err
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -301,12 +447,17 @@ func cacheable(cfg *Config) bool {
 // deduplication. The labeling itself is computed outside the session lock
 // — concurrent misses on different keys label in parallel — but
 // concurrent misses on the *same* key do the work exactly once: the first
-// becomes the leader (counted as the miss), computes, inserts, and wakes
-// the others, which wait on the flight (counted as coalesced) and return
-// the leader's labeling. A waiter whose own context ends abandons the
-// wait with ctx.Err(); the leader is unaffected. Labeling errors are
-// delivered to every request of the flight but are not cached — the next
-// request retries.
+// becomes the leader, computes, inserts, and wakes the others, which wait
+// on the flight (counted as coalesced) and return the leader's labeling.
+// A waiter whose own context ends abandons the wait with ctx.Err(); the
+// leader is unaffected. Labeling errors are delivered to every request of
+// the flight but are not cached — the next request retries.
+//
+// With a store attached, the disk tier joins the same flight: the leader
+// first tries a store read (a hit skips the compute entirely and counts
+// as StoreHits, not Misses), and a computed labeling is written back
+// before the flight is released, so N concurrent first requests for an
+// unstored key are still one compute and one store write.
 func (s *Session) labelCached(ctx context.Context, sch Scheme, g *Graph, source int, cfg *Config) (*Labeling, error) {
 	if s.capacity <= 0 || !cacheable(cfg) {
 		s.bypasses.Add(1)
@@ -341,7 +492,6 @@ func (s *Session) labelCached(ctx context.Context, sch Scheme, g *Graph, source 
 	f := &flight{done: make(chan struct{})}
 	s.flights[key] = f
 	s.mu.Unlock()
-	s.misses.Add(1)
 
 	defer func() {
 		if f.l == nil && f.err == nil {
@@ -366,6 +516,65 @@ func (s *Session) labelCached(ctx context.Context, sch Scheme, g *Graph, source 
 		s.mu.Unlock()
 		close(f.done)
 	}()
+	if s.store != nil {
+		if l, ok := s.storeGet(key); ok {
+			f.l = l
+			return f.l, nil
+		}
+		s.storeMisses.Add(1)
+	}
+	s.misses.Add(1)
 	f.l, f.err = sch.Label(g, source, cfg)
+	if f.err == nil && s.store != nil {
+		s.storeWrite(key, f.l)
+	}
 	return f.l, f.err
+}
+
+// storeKey maps the LRU key onto the store's exported key type.
+func storeKey(k labelingKey) store.Key {
+	return store.Key{
+		Fingerprint: k.fp, N: k.n, M: k.m,
+		Scheme: k.scheme, Source: k.source, Coordinator: k.coordinator,
+	}
+}
+
+// storeGet reads and decodes one labeling from the disk store. The store
+// already guarantees the bytes hash to their content address; decoding
+// the wire format (with its own CRC) and cross-checking the graph against
+// the key closes the loop. Anything inconsistent is dropped from the
+// store and demoted to a miss — never an error.
+func (s *Session) storeGet(key labelingKey) (*Labeling, bool) {
+	data, ok := s.store.Get(storeKey(key))
+	if !ok {
+		return nil, false
+	}
+	l := &Labeling{}
+	if err := l.UnmarshalBinary(data); err != nil ||
+		l.Scheme != key.scheme || l.Graph.N() != key.n || l.Graph.M() != key.m {
+		s.store.Drop(storeKey(key))
+		return nil, false
+	}
+	// Freeze up front so the decoded graph's lazy caches are read-only
+	// before the labeling is shared through the LRU.
+	l.Graph.Freeze()
+	if l.Graph.Fingerprint() != key.fp {
+		s.store.Drop(storeKey(key))
+		return nil, false
+	}
+	s.storeHits.Add(1)
+	return l, true
+}
+
+// storeWrite persists one computed labeling. Failures are deliberately
+// swallowed: the store is a cache tier, and a write error (disk full,
+// permissions) must not fail a request the compute already satisfied.
+func (s *Session) storeWrite(key labelingKey, l *Labeling) {
+	data, err := l.MarshalBinary()
+	if err != nil {
+		return
+	}
+	if s.store.Put(storeKey(key), data) == nil {
+		s.storeWrites.Add(1)
+	}
 }

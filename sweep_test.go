@@ -43,6 +43,7 @@ func TestEngineModesBitIdentical(t *testing.T) {
 		"centralized": general,
 		"onebit":      {{"path", 8}, {"grid", 9}},
 		"flooding":    {{"path", 8}, {"star", 9}},
+		"gjp":         {{"path", 12}, {"cycle", 9}, {"grid", 16}, {"star", 9}},
 	}
 	for scheme, fams := range matrix {
 		for _, f := range fams {
@@ -281,7 +282,7 @@ func TestRunSweepMatchesIndividualRuns(t *testing.T) {
 	spec := radiobcast.SweepSpec{
 		Families:   []string{"path", "grid"},
 		Sizes:      []int{16, 36},
-		Schemes:    []string{"b", "roundrobin", "centralized"},
+		Schemes:    []string{"b", "roundrobin", "centralized", "gjp"},
 		Sources:    []int{0, -1},
 		FaultRates: []float64{0, 0.05},
 		Repeats:    2,
